@@ -1,0 +1,158 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Prefetch policy (quadrant / all-neighbors / none) — miss rate vs
+   extraneous transfers (Figure 4's design point).
+2. Staging order (proximity vs FIFO) and concurrency — the "ordered by
+   distance from the cursor" claim.
+3. LoRS stripe width — multi-stream download speedup.
+4. Codec (zlib levels, delta predictor) — the "more efficient compression
+   scheme" the paper suggests.
+5. View-set size l — the locality/granularity knob.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    ablation_agent_cache,
+    ablation_codec,
+    ablation_prefetch_policy,
+    ablation_staging,
+    ablation_stripe_width,
+    ablation_viewset_size,
+    experiment_resolutions,
+    format_table,
+)
+
+_SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+
+
+def test_ablation_prefetch_policy(benchmark, suite, report):
+    res = experiment_resolutions()[0]
+    rows = ablation_prefetch_policy(suite, res)
+    table = format_table(
+        headers=["policy", "hit rate", "wan rate", "mean latency s",
+                 "prefetches"],
+        rows=[[r["policy"], r["hit_rate"], r["wan_rate"],
+               r["mean_latency_s"], r["prefetches"]] for r in rows],
+        title=f"Ablation — prefetch policy (case 2 @ {res})",
+    )
+    report("ablation_prefetch_policy", table)
+    by = {r["policy"]: r for r in rows}
+    # no prefetch must be the worst on hit rate; quadrant beats none
+    assert by["none"]["hit_rate"] <= by["quadrant"]["hit_rate"]
+    # all-neighbors issues at least as many prefetch transfers
+    assert by["all-neighbors"]["prefetches"] >= by["quadrant"]["prefetches"]
+    benchmark.pedantic(
+        lambda: ablation_prefetch_policy(suite, res, case=2),
+        rounds=1, iterations=1,
+    )
+
+
+def test_ablation_staging(benchmark, suite, report):
+    res = experiment_resolutions()[1 if not _SMALL else 0]
+    rows = ablation_staging(suite, res)
+    table = format_table(
+        headers=["order", "concurrency", "initial phase", "wan rate",
+                 "mean latency s", "staged"],
+        rows=[[r["order"], r["concurrency"], r["initial_phase"],
+               r["wan_rate"], r["mean_latency_s"], r["staged"]]
+              for r in rows],
+        title=f"Ablation — staging order and concurrency (case 3 @ {res})",
+    )
+    report("ablation_staging", table)
+    prox = [r for r in rows if r["order"] == "proximity"]
+    fifo = [r for r in rows if r["order"] == "fifo"]
+    # cursor-proximity staging localizes the useful view sets sooner:
+    # equal-concurrency comparisons never favor FIFO on WAN rate
+    for p, f in zip(prox, fifo):
+        assert p["concurrency"] == f["concurrency"]
+        assert p["wan_rate"] <= f["wan_rate"] + 0.15
+    benchmark.pedantic(
+        lambda: suite.run(3, res, staging_order="fifo",
+                          staging_concurrency=4),
+        rounds=1, iterations=1,
+    )
+
+
+def test_ablation_stripe_width(benchmark, suite, report):
+    res = experiment_resolutions()[0]
+    rows = ablation_stripe_width(suite, res)
+    table = format_table(
+        headers=["stripe width", "mean WAN fetch s", "wan rate",
+                 "mean latency s"],
+        rows=[[r["stripe_width"], r["mean_wan_fetch_s"], r["wan_rate"],
+               r["mean_latency_s"]] for r in rows],
+        title=f"Ablation — LoRS stripe width (case 2 @ {res})",
+    )
+    report("ablation_stripe_width", table)
+    by = {r["stripe_width"]: r for r in rows}
+    # multi-stream striping makes individual WAN fetches no slower (and
+    # typically faster) than single-depot placement
+    if by[1]["mean_wan_fetch_s"] and by[3]["mean_wan_fetch_s"]:
+        assert (
+            by[3]["mean_wan_fetch_s"] <= by[1]["mean_wan_fetch_s"] * 1.10
+        )
+    benchmark.pedantic(
+        lambda: ablation_stripe_width(suite, res), rounds=1, iterations=1
+    )
+
+
+def test_ablation_codec(benchmark, report):
+    rows = ablation_codec(resolution=64 if _SMALL else 128)
+    table = format_table(
+        headers=["codec", "ratio", "compress s", "decompress s",
+                 "payload MB"],
+        rows=[[r["codec"], r["ratio"], r["compress_s"], r["decompress_s"],
+               r["payload_mb"]] for r in rows],
+        title="Ablation — view-set codec",
+    )
+    report("ablation_codec", table)
+    by = {r["codec"]: r for r in rows}
+    # higher zlib level never compresses worse
+    assert by["zlib-9"]["ratio"] >= by["zlib-1"]["ratio"] * 0.99
+    # every codec is lossless and produces a real payload
+    for r in rows:
+        assert r["ratio"] > 1.0
+    benchmark.pedantic(
+        lambda: ablation_codec(resolution=64), rounds=1, iterations=1
+    )
+
+
+def test_ablation_agent_cache(benchmark, suite, report):
+    res = experiment_resolutions()[0]
+    rows = ablation_agent_cache(suite, res)
+    table = format_table(
+        headers=["cache (payloads)", "hit rate", "wan rate",
+                 "mean latency s"],
+        rows=[[r["cache_payloads"], r["hit_rate"], r["wan_rate"],
+               r["mean_latency_s"]] for r in rows],
+        title=f"Ablation — client-agent cache budget (case 2 @ {res})",
+    )
+    report("ablation_agent_cache", table)
+    by = {r["cache_payloads"]: r for r in rows}
+    # a starved cache cannot out-hit an unbounded one
+    assert by[2]["hit_rate"] <= by["unbounded"]["hit_rate"] + 1e-9
+    benchmark.pedantic(
+        lambda: ablation_agent_cache(suite, res), rounds=1, iterations=1
+    )
+
+
+def test_ablation_viewset_size(benchmark, report):
+    rows = ablation_viewset_size(resolution=64 if _SMALL else 128)
+    table = format_table(
+        headers=["l", "window deg", "payload MB",
+                 "distinct viewsets in trace", "bytes for trace MB"],
+        rows=[[r["l"], r["window_deg"], r["payload_mb"],
+               r["distinct_viewsets_in_trace"], r["bytes_for_trace_mb"]]
+              for r in rows],
+        title="Ablation — view-set edge length l (locality knob)",
+    )
+    report("ablation_viewset_size", table)
+    by = {r["l"]: r for r in rows}
+    # bigger l => bigger transfer unit
+    assert by[6]["payload_mb"] > by[2]["payload_mb"]
+    benchmark.pedantic(
+        lambda: ablation_viewset_size(resolution=64), rounds=1, iterations=1
+    )

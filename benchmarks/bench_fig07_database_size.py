@@ -1,0 +1,80 @@
+"""Figure 7: total light field database size, compressed vs uncompressed.
+
+Paper: at 200²-600² sample resolution the database is 1.5-14 GB raw and
+compresses 5-7× with zlib (max ~2 GB compressed).  We render sample view
+sets for real, compress them, and extrapolate across the paper's 12 × 24
+view-set grid (DESIGN.md §2 records this substitution).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import PAPER, fig07_database_size, format_table
+from repro.lightfield.lattice import CameraLattice
+
+_SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+RESOLUTIONS = (64, 128) if _SMALL else (200, 300, 400, 500, 600)
+
+
+@pytest.fixture(scope="module")
+def size_rows():
+    return fig07_database_size(
+        resolutions=RESOLUTIONS,
+        volume_size=32,
+        sample_viewsets=1,
+        workers=1,
+    )
+
+
+def test_fig07_database_size(benchmark, size_rows, report):
+    """Regenerate Figure 7's bars; benchmark = compressing one view set."""
+    from repro.lightfield.build import LightFieldBuilder
+    from repro.render.raycast import RenderSettings
+    from repro.volume import neg_hip, preset
+
+    table = format_table(
+        headers=[
+            "res", "viewset raw MB", "viewset zlib MB", "ratio",
+            "total raw GB", "total zlib GB",
+            "paper raw GB", "paper zlib GB",
+        ],
+        rows=[
+            [
+                r["resolution"], r["viewset_raw_mb"],
+                r["viewset_compressed_mb"], r["ratio"],
+                r["total_uncompressed_gb"], r["total_compressed_gb"],
+                r["paper_uncompressed_gb"] or "-",
+                r["paper_compressed_gb"] or "-",
+            ]
+            for r in size_rows
+        ],
+        title="Figure 7 — light field database size vs sample resolution",
+    )
+    report("fig07_database_size", table)
+
+    # shape assertions: size grows ~quadratically with resolution and the
+    # compression ratio sits in (or near) the paper's 5-7x band.  At high
+    # sample resolutions our 32^3 synthetic volume is oversampled, so the
+    # rendered views are smoother than the paper's 64^3 negHip and zlib
+    # over-performs — the ratio band is widened upward accordingly.
+    first, last = size_rows[0], size_rows[-1]
+    scale = (last["resolution"] / first["resolution"]) ** 2
+    growth = last["total_uncompressed_gb"] / first["total_uncompressed_gb"]
+    assert growth == pytest.approx(scale, rel=0.15)
+    for r in size_rows:
+        assert 3.0 < r["ratio"] < 20.0
+    if not _SMALL:
+        lo, hi = PAPER.compression_ratio_band
+        in_band = [r for r in size_rows if lo - 0.5 <= r["ratio"] <= hi + 2.5]
+        assert in_band, "no resolution landed near the paper's 5-7x band"
+
+    # representative kernel: zlib compression of one rendered view set
+    builder = LightFieldBuilder(
+        neg_hip(size=32), preset("neghip"),
+        CameraLattice(72, 144, 6), resolution=RESOLUTIONS[0], workers=1,
+        settings=RenderSettings(shaded=False),
+    )
+    vs = builder.render_viewset((6, 11))
+    result = benchmark(builder.codec.compress, vs)
+    assert result.ratio > 2.0

@@ -1,0 +1,57 @@
+"""Figure 9: client latency per view-set access at 200², Cases 1-3.
+
+Paper shape: Case 2 (data in WAN) pays ~0.5-2.5 s repeatedly; Cases 1 and 3
+are indistinguishable after an initial phase of about one access — the LAN
+depot makes remote browsing feel local at low resolution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import experiment_resolutions, format_series
+
+
+def _report_latency(suite, resolution, report, name):
+    data = suite.latency_figure(resolution)
+    parts = [
+        format_series(f"case {case} latency s @ {resolution}", values)
+        for case, values in data.items()
+    ]
+    summaries = [str(suite.run(c, resolution).summary()) for c in (1, 2, 3)]
+    report(name, "\n\n".join(parts) + "\n\n" + "\n".join(summaries))
+    return data
+
+
+def _assert_paper_shape(suite, resolution):
+    m1 = suite.run(1, resolution)
+    m2 = suite.run(2, resolution)
+    m3 = suite.run(3, resolution)
+    # Case 1 is the ideal: never touches the WAN
+    assert m1.wan_rate() == 0.0
+    # Case 2 keeps paying WAN latency
+    assert m2.wan_rate() > 0.0
+    assert m2.mean_latency() > m1.mean_latency()
+    # Case 3 ends its initial phase before the trace ends and then matches
+    # local browsing
+    phase = m3.initial_phase_length()
+    assert phase < len(m3.accesses)
+    steady3 = m3.mean_latency(skip=phase)
+    steady1 = m1.mean_latency(skip=1)
+    assert steady3 < max(5 * steady1, steady1 + 0.25)
+    return m1, m2, m3
+
+
+def test_fig09_latency_200(benchmark, suite, report):
+    resolution = experiment_resolutions()[0]
+    _report_latency(suite, resolution, report, "fig09_latency_200")
+    m1, m2, m3 = _assert_paper_shape(suite, resolution)
+    # at the lowest resolution the initial phase is very short
+    # (paper: a single access)
+    assert m3.initial_phase_length() <= 6
+
+    # representative kernel: one fresh Case-3 session at this resolution
+    result = benchmark.pedantic(
+        lambda: suite.run(3, resolution, trace_seed=13),
+        rounds=1, iterations=1,
+    )
+    assert len(result.accesses) > 0

@@ -1,0 +1,41 @@
+"""Figure 11: client latency per view-set access at 500², Cases 1-3.
+
+Paper shape: the 500² initial phase is dramatically longer (33 of 58
+accesses) because staging the larger view sets cannot outrun the cursor;
+during that phase Case 3's latency is WAN-comparable (staging contends with
+foreground fetches — the Section 4.3 observation), after it the WAN
+disappears from the access stream.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import experiment_resolutions
+
+from bench_fig09_latency_200 import _assert_paper_shape, _report_latency
+
+_SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+
+
+def test_fig11_latency_500(benchmark, suite, report):
+    res_all = experiment_resolutions()
+    resolution = res_all[2]
+    _report_latency(suite, resolution, report, "fig11_latency_500")
+    m1, m2, m3 = _assert_paper_shape(suite, resolution)
+    # the top-resolution initial phase must be much longer than at the
+    # lowest resolution (paper: 33 accesses vs 1); at smoke scale the
+    # payloads are too small for the contrast to appear
+    low = suite.run(3, res_all[0]).initial_phase_length()
+    high = m3.initial_phase_length()
+    if _SMALL:
+        assert high >= low
+    else:
+        assert high > low
+        assert high >= 5
+
+    result = benchmark.pedantic(
+        lambda: suite.run(3, resolution, trace_seed=13),
+        rounds=1, iterations=1,
+    )
+    assert len(result.accesses) > 0

@@ -1,0 +1,77 @@
+"""Figure 12: communication latency per access, log scale, three panels.
+
+Paper: the data-access component spans four decades — agent-cache hits
+~1e-4 s, LAN-depot fetches ~1e-2..1e-1 s, WAN fetches ~1 s.  The three
+panels (200², 300², 500²) all show Case 1 and Case 3 collapsing onto the
+hit/LAN tiers while Case 2 keeps spiking to the WAN tier.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER,
+    experiment_resolutions,
+    format_series,
+    format_table,
+)
+from repro.streaming.metrics import AccessSource
+
+
+def test_fig12_comm_latency(benchmark, suite, report):
+    resolutions = experiment_resolutions()
+    parts = []
+    tier_rows = []
+    for res in resolutions:
+        data = suite.fig12_comm_latency(res)
+        for case, values in data.items():
+            # log-scale friendly: floor at the hit tier
+            floored = [max(v, 1e-4) for v in values]
+            parts.append(
+                format_series(
+                    f"comm s (log-ready) case {case} @ {res}", floored,
+                    fmt="{:.5f}",
+                )
+            )
+        # tier medians, attributed as the paper's panels do: hits from any
+        # case, the LAN-depot tier from Case 3 (where staging feeds it),
+        # the WAN tier from Case 2 (pure wide-area fetches — Case 3's
+        # "WAN" accesses can be partially staged mixes)
+        hits, lan, wan = [], [], []
+        for case in (1, 2, 3):
+            for a in suite.run(case, res).accesses:
+                if a.source is AccessSource.AGENT_CACHE:
+                    hits.append(max(a.comm_latency, 1e-4))
+        for a in suite.run(3, res).accesses:
+            if a.source is AccessSource.LAN_DEPOT:
+                lan.append(a.comm_latency)
+        for a in suite.run(2, res).accesses:
+            if a.source is AccessSource.WAN_DEPOT:
+                wan.append(a.comm_latency)
+        tier_rows.append([
+            res,
+            float(np.median(hits)) if hits else 0.0,
+            float(np.median(lan)) if lan else 0.0,
+            float(np.median(wan)) if wan else 0.0,
+        ])
+    table = format_table(
+        headers=["res", "hit tier s", "lan-depot tier s", "wan tier s"],
+        rows=tier_rows,
+        title="Figure 12 — communication latency tiers (medians)",
+    )
+    report("fig12_comm_latency", table + "\n\n" + "\n\n".join(parts))
+
+    # the decades must separate cleanly, as in the paper's log plots
+    for res, hit, lan, wan in tier_rows:
+        if hit and wan:
+            assert wan / hit > 100, f"hit/WAN tiers too close at {res}"
+        if hit:
+            assert hit < 0.001
+    # at the top resolution every tier is well populated: full ordering
+    top = tier_rows[-1]
+    _, hit, lan, wan = top
+    if hit and lan and wan:
+        assert hit < lan < wan, f"tier ordering broken at {top[0]}"
+
+    # representative kernel: the comm-series extraction itself
+    benchmark(suite.fig12_comm_latency, resolutions[0])

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Figures 8-12 and the Section 4.3 statistics all derive from the same nine
+streaming sessions (Cases 1-3 × three resolutions), so one memoized
+:class:`StreamingSuite` is shared session-wide.  Every benchmark writes its
+paper-style table/series to ``benchmarks/results/`` so the regenerated data
+survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import StreamingSuite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite() -> StreamingSuite:
+    """The memoized 3-case × 3-resolution streaming suite."""
+    return StreamingSuite()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, request):
+    """Write (and echo) a named report file for this benchmark."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(text)
+
+    return _write

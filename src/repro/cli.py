@@ -1,0 +1,219 @@
+"""Command-line interface: build, inspect, render and stream light fields.
+
+Usage (``python -m repro <command>``):
+
+* ``build``    — ray-cast a light field database from a synthetic or raw
+  volume and save it to a directory;
+* ``info``     — size/compression accounting of a saved database (Figure 7
+  at your scale);
+* ``render``   — synthesize a novel view from a saved database into a PPM;
+* ``session``  — run a streaming Case 1/2/3 experiment and print the
+  summary table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _volume_from_args(args):
+    from .volume import gaussian_blobs, hydrogen_orbital, neg_hip, vortex
+    from .volume.io import read_raw
+
+    if args.raw is not None:
+        if args.shape is None:
+            raise SystemExit("--raw needs --shape NX,NY,NZ")
+        shape = tuple(int(x) for x in args.shape.split(","))
+        if len(shape) != 3:
+            raise SystemExit("--shape must be NX,NY,NZ")
+        return read_raw(args.raw, shape=shape, dtype=args.dtype)
+    factories = {
+        "neghip": neg_hip,
+        "blobs": gaussian_blobs,
+        "vortex": vortex,
+        "hydrogen": hydrogen_orbital,
+    }
+    return factories[args.volume](size=args.size)
+
+
+def _lattice_from_args(args):
+    from .lightfield import CameraLattice
+
+    nt, np_, l = (int(x) for x in args.lattice.split("x"))
+    return CameraLattice(n_theta=nt, n_phi=np_, l=l)
+
+
+def cmd_build(args) -> int:
+    from .lightfield import LightFieldBuilder
+    from .render.raycast import RenderSettings
+    from .volume import preset
+
+    volume = _volume_from_args(args)
+    lattice = _lattice_from_args(args)
+    builder = LightFieldBuilder(
+        volume,
+        preset(args.transfer),
+        lattice,
+        resolution=args.resolution,
+        workers=args.workers,
+        settings=RenderSettings(shaded=not args.unshaded),
+    )
+    print(f"building {lattice.n_viewsets} view sets at "
+          f"{args.resolution}x{args.resolution} ...", flush=True)
+    db = builder.build()
+    db.save(args.out)
+    stats = builder.stats
+    print(f"rendered {stats.views_rendered} views in "
+          f"{stats.total_seconds:.1f} s")
+    print(f"raw {db.raw_size() / 1e6:.1f} MB -> compressed "
+          f"{db.compressed_size() / 1e6:.1f} MB "
+          f"(ratio {db.compression_ratio():.2f}x)")
+    print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .lightfield import LightFieldDatabase
+
+    db = LightFieldDatabase.load(args.db)
+    rows, cols = db.lattice.n_viewsets
+    print(f"database    : {db.name}")
+    print(f"lattice     : {db.lattice.n_theta} x {db.lattice.n_phi} "
+          f"(l={db.lattice.l}; {rows} x {cols} view sets)")
+    print(f"resolution  : {db.resolution} x {db.resolution}")
+    print(f"spheres     : r_inner={db.spheres.r_inner:.3f} "
+          f"r_outer={db.spheres.r_outer:.3f}")
+    print(f"view sets   : {len(db)} "
+          f"({'complete' if db.is_complete() else 'partial'})")
+    print(f"raw         : {db.raw_size() / 1e6:.2f} MB")
+    print(f"compressed  : {db.compressed_size() / 1e6:.2f} MB "
+          f"(ratio {db.compression_ratio():.2f}x)")
+    return 0
+
+
+def cmd_render(args) -> int:
+    from .lightfield import (
+        DictProvider,
+        LightFieldDatabase,
+        LightFieldSynthesizer,
+    )
+    from .render.camera import orbit_camera
+    from .render.image import save_ppm
+
+    db = LightFieldDatabase.load(args.db)
+    provider = DictProvider({k: db.get_viewset(k) for k in db.keys()})
+    synth = LightFieldSynthesizer(
+        db.lattice, db.spheres, db.resolution, provider,
+        interpolation=args.interpolation,
+    )
+    cam = orbit_camera(
+        np.radians(args.theta),
+        np.radians(args.phi),
+        radius=db.spheres.r_outer * args.distance,
+        resolution=args.size,
+        fov_deg=db.spheres.camera_fov_deg() / args.distance,
+    )
+    result = synth.render(cam)
+    save_ppm(args.out, result.image)
+    print(f"rendered {args.size}x{args.size} view at theta={args.theta} "
+          f"phi={args.phi} (coverage {result.coverage:.2f}) -> {args.out}")
+    return 0
+
+
+def cmd_session(args) -> int:
+    from .experiments import format_table
+    from .lightfield import SyntheticSource
+    from .streaming import SessionConfig, run_session
+
+    lattice = _lattice_from_args(args)
+    source = SyntheticSource(lattice, resolution=args.resolution)
+    rows = []
+    cases = [int(c) for c in args.cases.split(",")]
+    for case in cases:
+        m = run_session(
+            source,
+            SessionConfig(case=case, n_accesses=args.accesses,
+                          trace_seed=args.seed),
+        )
+        s = m.summary()
+        rows.append([f"case {case}", s["accesses"], s["hit_rate"],
+                     s["wan_rate"], s["initial_phase"], s["mean_latency_s"],
+                     s["steady_latency_s"]])
+    print(format_table(
+        headers=["case", "accesses", "hit rate", "wan rate",
+                 "initial phase", "mean s", "steady s"],
+        rows=rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument grammar (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    b = sub.add_parser("build", help="ray-cast a light field database")
+    b.add_argument("--volume", default="neghip",
+                   choices=["neghip", "blobs", "vortex", "hydrogen"])
+    b.add_argument("--raw", type=Path, default=None,
+                   help="raw volume brick instead of a synthetic volume")
+    b.add_argument("--shape", default=None, help="NX,NY,NZ for --raw")
+    b.add_argument("--dtype", default="uint8", help="dtype for --raw")
+    b.add_argument("--size", type=int, default=32,
+                   help="synthetic volume size per axis")
+    b.add_argument("--transfer", default="neghip")
+    b.add_argument("--lattice", default="12x24x3",
+                   help="n_theta x n_phi x l (paper: 72x144x6)")
+    b.add_argument("--resolution", type=int, default=64)
+    b.add_argument("--workers", type=int, default=1)
+    b.add_argument("--unshaded", action="store_true")
+    b.add_argument("--out", type=Path, required=True)
+    b.set_defaults(func=cmd_build)
+
+    i = sub.add_parser("info", help="inspect a saved database")
+    i.add_argument("--db", type=Path, required=True)
+    i.set_defaults(func=cmd_info)
+
+    r = sub.add_parser("render", help="synthesize a novel view to PPM")
+    r.add_argument("--db", type=Path, required=True)
+    r.add_argument("--theta", type=float, default=90.0,
+                   help="polar angle in degrees")
+    r.add_argument("--phi", type=float, default=0.0,
+                   help="azimuth in degrees")
+    r.add_argument("--distance", type=float, default=2.0,
+                   help="camera radius as a multiple of r_outer")
+    r.add_argument("--size", type=int, default=256,
+                   help="output image resolution")
+    r.add_argument("--interpolation", default="quadrilinear",
+                   choices=["quadrilinear", "uv-nearest", "nearest"])
+    r.add_argument("--out", type=Path, required=True)
+    r.set_defaults(func=cmd_render)
+
+    s = sub.add_parser("session", help="run a streaming experiment")
+    s.add_argument("--cases", default="1,2,3")
+    s.add_argument("--resolution", type=int, default=100)
+    s.add_argument("--accesses", type=int, default=20)
+    s.add_argument("--seed", type=int, default=7)
+    s.add_argument("--lattice", default="12x24x3")
+    s.set_defaults(func=cmd_session)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Per-figure experiment drivers shared by the benchmark harness and
+examples; includes the paper's published numbers for side-by-side columns.
+"""
+
+from .config import (
+    PAPER,
+    experiment_lattice,
+    experiment_resolutions,
+    scale_name,
+)
+from .reporting import banner, format_series, format_table
+from .runners import (
+    StreamingSuite,
+    ablation_agent_cache,
+    ablation_codec,
+    ablation_prefetch_policy,
+    ablation_staging,
+    ablation_stripe_width,
+    ablation_viewset_size,
+    access_rate_stats,
+    fig07_database_size,
+    qgr_sweep,
+    text_fps,
+    text_generation_time,
+)
+
+__all__ = [
+    "PAPER",
+    "StreamingSuite",
+    "ablation_agent_cache",
+    "ablation_codec",
+    "ablation_prefetch_policy",
+    "ablation_staging",
+    "ablation_stripe_width",
+    "ablation_viewset_size",
+    "access_rate_stats",
+    "banner",
+    "experiment_lattice",
+    "experiment_resolutions",
+    "fig07_database_size",
+    "format_series",
+    "format_table",
+    "qgr_sweep",
+    "scale_name",
+    "text_fps",
+    "text_generation_time",
+]

@@ -1,0 +1,66 @@
+"""Plain-text reporting for experiment results.
+
+Benchmarks print the same rows/series the paper's figures plot; these helpers
+render them consistently (aligned tables, log-scale-friendly series dumps)
+so `pytest benchmarks/ --benchmark-only -s` output reads like the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    """A section header like ``== Figure 7: ... ==``."""
+    pad = max(0, width - len(title) - 6)
+    return f"\n=== {title} {'=' * pad}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(banner(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    values: Sequence[float],
+    per_line: int = 10,
+    fmt: str = "{:.3f}",
+) -> str:
+    """A labelled numeric series, wrapped for terminals."""
+    chunks = []
+    for i in range(0, len(values), per_line):
+        row = "  ".join(fmt.format(v) for v in values[i:i + per_line])
+        chunks.append(f"  [{i + 1:>3}] {row}")
+    return f"{name} ({len(values)} points):\n" + "\n".join(chunks)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,55 @@
+"""The paper's core contribution: spherical light fields organized into view
+sets, with lossless compression, database generation and novel-view
+synthesis by 4-D table lookup.
+"""
+
+from .build import BuildStats, LightFieldBuilder
+from .compression import (
+    CodecError,
+    CompressionResult,
+    DeltaZlibCodec,
+    ZlibCodec,
+    codec_for_payload,
+)
+from .database import DatabaseError, LightFieldDatabase
+from .source import DatabaseSource, SyntheticSource, ViewSetSource
+from .lattice import CameraLattice, ViewSetKey, parse_viewset_id
+from .multifield import CellSynthesizer, FieldCell, MultiFieldAtlas
+from .sphere import TwoSphere, angles_to_cartesian, cartesian_to_angles
+from .synthesis import (
+    DictProvider,
+    LightFieldSynthesizer,
+    SynthesisResult,
+    ViewSetProvider,
+)
+from .viewset import ViewSet, ViewSetFormatError
+
+__all__ = [
+    "BuildStats",
+    "CameraLattice",
+    "CellSynthesizer",
+    "CodecError",
+    "FieldCell",
+    "MultiFieldAtlas",
+    "CompressionResult",
+    "DatabaseError",
+    "DatabaseSource",
+    "DeltaZlibCodec",
+    "DictProvider",
+    "LightFieldBuilder",
+    "LightFieldDatabase",
+    "LightFieldSynthesizer",
+    "SynthesisResult",
+    "SyntheticSource",
+    "TwoSphere",
+    "ViewSetSource",
+    "ViewSet",
+    "ViewSetFormatError",
+    "ViewSetKey",
+    "ViewSetProvider",
+    "ZlibCodec",
+    "angles_to_cartesian",
+    "cartesian_to_angles",
+    "codec_for_payload",
+    "parse_viewset_id",
+]

@@ -1,0 +1,239 @@
+"""Camera lattice and view-set partitioning.
+
+The light field database is sampled from an ``n_theta × n_phi`` lattice of
+camera positions on the outer sphere, at 2.5° angular intervals in the paper
+(72 × 144 positions).  The lattice is partitioned into ``l × l`` groups
+called **view sets** (l = 6 → 15° windows → 12 × 24 view sets), which are the
+unit of storage, compression and network transmission, "a natural mechanism
+to exploit view coherence".
+
+Indexing conventions:
+
+* camera index ``(i, j)``: ``i`` along theta (0 .. n_theta-1), ``j`` along
+  phi (0 .. n_phi-1, periodic);
+* view-set index ``(vi, vj)``: ``vi = i // l``, ``vj = j // l``;
+* view-set id: the string ``"vs-{vi}-{vj}"`` (used as exNode/DVS keys).
+
+Theta rows are placed at cell centers, ``theta_i = (i + 0.5) * pi / n_theta``,
+so no camera sits exactly on a pole; phi columns at ``phi_j = j * 2pi /
+n_phi``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CameraLattice", "ViewSetKey", "parse_viewset_id"]
+
+ViewSetKey = Tuple[int, int]
+
+_VS_RE = re.compile(r"^vs-(\d+)-(\d+)$")
+
+
+def parse_viewset_id(vid: str) -> ViewSetKey:
+    """Parse ``"vs-{vi}-{vj}"`` back to the (vi, vj) pair."""
+    m = _VS_RE.match(vid)
+    if not m:
+        raise ValueError(f"not a view-set id: {vid!r}")
+    return int(m.group(1)), int(m.group(2))
+
+
+@dataclass(frozen=True)
+class CameraLattice:
+    """The sample-view lattice and its view-set partition.
+
+    Parameters
+    ----------
+    n_theta, n_phi:
+        Lattice dimensions.  The paper's full scale is 72 × 144 (2.5°
+        spacing); tests use smaller lattices.  Both must be divisible by
+        ``l``.
+    l:
+        View-set edge length (paper: 6, i.e. 15° windows).
+    """
+
+    n_theta: int = 72
+    n_phi: int = 144
+    l: int = 6
+
+    def __post_init__(self) -> None:
+        if self.n_theta < 1 or self.n_phi < 1:
+            raise ValueError("lattice dimensions must be positive")
+        if self.l < 1:
+            raise ValueError("view-set size l must be >= 1")
+        if self.n_theta % self.l or self.n_phi % self.l:
+            raise ValueError(
+                f"lattice {self.n_theta}x{self.n_phi} not divisible by "
+                f"l={self.l}"
+            )
+
+    # ------------------------------------------------------------------
+    # lattice geometry
+    # ------------------------------------------------------------------
+    @property
+    def theta_step(self) -> float:
+        """Angular spacing between theta rows (radians)."""
+        return np.pi / self.n_theta
+
+    @property
+    def phi_step(self) -> float:
+        """Angular spacing between phi columns (radians)."""
+        return 2.0 * np.pi / self.n_phi
+
+    @property
+    def n_cameras(self) -> int:
+        """Total number of sample views in the lattice."""
+        return self.n_theta * self.n_phi
+
+    def angles(self, i: int, j: int) -> Tuple[float, float]:
+        """(theta, phi) of camera (i, j); j wraps modulo n_phi."""
+        if not 0 <= i < self.n_theta:
+            raise IndexError(f"theta index {i} out of range")
+        j = j % self.n_phi
+        return (i + 0.5) * self.theta_step, j * self.phi_step
+
+    def continuous_index(
+        self, theta: np.ndarray, phi: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fractional lattice coordinates of arbitrary angles.
+
+        The theta coordinate is clamped to the valid camera band; phi is
+        periodic (returned in [0, n_phi)).
+        """
+        fi = np.asarray(theta, dtype=np.float64) / self.theta_step - 0.5
+        fi = np.clip(fi, 0.0, self.n_theta - 1.0)
+        fj = np.mod(np.asarray(phi, dtype=np.float64) / self.phi_step,
+                    self.n_phi)
+        return fi, fj
+
+    def nearest_camera(self, theta: float, phi: float) -> Tuple[int, int]:
+        """The lattice camera closest to (theta, phi)."""
+        fi, fj = self.continuous_index(np.array(theta), np.array(phi))
+        i = int(np.clip(np.rint(fi), 0, self.n_theta - 1))
+        j = int(np.rint(fj)) % self.n_phi
+        return i, j
+
+    # ------------------------------------------------------------------
+    # view sets
+    # ------------------------------------------------------------------
+    @property
+    def n_viewsets(self) -> Tuple[int, int]:
+        """(rows, cols) of the view-set grid (paper: 12 × 24)."""
+        return self.n_theta // self.l, self.n_phi // self.l
+
+    def viewset_of(self, i: int, j: int) -> ViewSetKey:
+        """View-set key containing camera (i, j)."""
+        if not 0 <= i < self.n_theta:
+            raise IndexError(f"theta index {i} out of range")
+        return i // self.l, (j % self.n_phi) // self.l
+
+    def viewset_id(self, key: ViewSetKey) -> str:
+        """String id used for storage, DVS and exNode naming."""
+        vi, vj = self._wrap_key(key)
+        return f"vs-{vi}-{vj}"
+
+    def _wrap_key(self, key: ViewSetKey) -> ViewSetKey:
+        vi, vj = key
+        rows, cols = self.n_viewsets
+        if not 0 <= vi < rows:
+            raise IndexError(f"view-set row {vi} out of range")
+        return vi, vj % cols
+
+    def cameras_in_viewset(self, key: ViewSetKey) -> List[Tuple[int, int]]:
+        """All l × l camera indices in a view set, row-major."""
+        vi, vj = self._wrap_key(key)
+        return [
+            (vi * self.l + a, vj * self.l + b)
+            for a in range(self.l)
+            for b in range(self.l)
+        ]
+
+    def all_viewsets(self) -> Iterator[ViewSetKey]:
+        """Iterate every view-set key in row-major order."""
+        rows, cols = self.n_viewsets
+        for vi in range(rows):
+            for vj in range(cols):
+                yield (vi, vj)
+
+    def viewset_containing(self, theta: float, phi: float) -> ViewSetKey:
+        """View set whose angular window contains the given view angles."""
+        i, j = self.nearest_camera(theta, phi)
+        return self.viewset_of(i, j)
+
+    def viewset_center(self, key: ViewSetKey) -> Tuple[float, float]:
+        """(theta, phi) at the center of a view set's angular window."""
+        vi, vj = self._wrap_key(key)
+        theta = (vi * self.l + self.l / 2.0) * self.theta_step
+        phi = (vj * self.l + self.l / 2.0 - 0.5) * self.phi_step
+        return theta, phi
+
+    # ------------------------------------------------------------------
+    # neighborhood / prefetch support
+    # ------------------------------------------------------------------
+    def neighbors(self, key: ViewSetKey) -> List[ViewSetKey]:
+        """The (up to) 8 neighboring view sets (Figure 4's ring).
+
+        phi wraps around; theta rows beyond the poles do not exist, so polar
+        view sets have fewer neighbors.
+        """
+        vi, vj = self._wrap_key(key)
+        rows, cols = self.n_viewsets
+        out = []
+        for di in (-1, 0, 1):
+            for dj in (-1, 0, 1):
+                if di == 0 and dj == 0:
+                    continue
+                ni = vi + di
+                if not 0 <= ni < rows:
+                    continue
+                out.append((ni, (vj + dj) % cols))
+        return out
+
+    def quadrant(self, theta: float, phi: float) -> Tuple[int, int]:
+        """Quadrant of the containing view set holding (theta, phi).
+
+        Returns ``(qi, qj)`` with each in {-1, +1}: qi = -1 means the upper
+        (smaller theta) half, qj = -1 the left (smaller phi) half.  This is
+        the input to the Figure 4 prefetch policy: only neighbors on the
+        quadrant's side are likely needed next.
+        """
+        vi, vj = self.viewset_containing(theta, phi)
+        fi, fj = self.continuous_index(np.array(theta), np.array(phi))
+        local_i = float(fi) - vi * self.l
+        local_j = float(fj) - vj * self.l
+        half = (self.l - 1) / 2.0
+        qi = -1 if local_i <= half else 1
+        qj = -1 if local_j <= half else 1
+        return qi, qj
+
+    def quadrant_neighbors(
+        self, theta: float, phi: float
+    ) -> List[ViewSetKey]:
+        """The 3 neighbors the Figure 4 policy prefetches for this position.
+
+        E.g. in the top-left quadrant: the view sets above, to the left and
+        diagonally above-left of the current one.
+        """
+        key = self.viewset_containing(theta, phi)
+        vi, vj = key
+        qi, qj = self.quadrant(theta, phi)
+        rows, cols = self.n_viewsets
+        wanted = [(vi + qi, vj), (vi, vj + qj), (vi + qi, vj + qj)]
+        out = []
+        for ni, nj in wanted:
+            if 0 <= ni < rows:
+                out.append((ni, nj % cols))
+        return out
+
+    def viewset_distance(self, a: ViewSetKey, b: ViewSetKey) -> float:
+        """Grid distance between view sets (phi wraps) — staging order key."""
+        (ai, aj), (bi, bj) = self._wrap_key(a), self._wrap_key(b)
+        rows, cols = self.n_viewsets
+        dj = abs(aj - bj)
+        dj = min(dj, cols - dj)
+        di = abs(ai - bi)
+        return float(np.hypot(di, dj))

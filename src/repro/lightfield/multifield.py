@@ -1,0 +1,208 @@
+"""Interior navigation with multiple light fields (Section 3.2 extension).
+
+A single two-sphere light field only supports viewpoints *outside* its outer
+sphere: "A light field database so constructed can only support 'replaying'
+the external views of a volume.  To allow user navigation through the
+interior of a volume, multiple light field databases are needed [16], but
+the same framework for remote visualization can be reused."
+
+This module implements that extension: the volume's interior is covered by a
+grid of **field cells**, each a complete spherical light field centered at a
+different point with a small outer sphere.  A viewpoint inside the dataset
+is outside most cells' outer spheres; the browser picks the nearest
+*supporting* cell for the current view and renders through its synthesizer
+(with ray origins translated into the cell's frame).  Cell view sets reuse
+the entire streaming stack — their ids are namespaced per cell, so the DVS,
+depots, prefetching and staging all work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..render.camera import Camera
+from .lattice import CameraLattice, ViewSetKey
+from .sphere import TwoSphere
+from .synthesis import LightFieldSynthesizer, SynthesisResult, ViewSetProvider
+
+__all__ = ["FieldCell", "MultiFieldAtlas", "CellSynthesizer"]
+
+
+@dataclass(frozen=True)
+class FieldCell:
+    """One light field shell positioned inside the dataset."""
+
+    name: str
+    center: Tuple[float, float, float]
+    spheres: TwoSphere
+
+    def supports(self, eye: np.ndarray) -> bool:
+        """True if a viewpoint lies in this cell's supported zone."""
+        d = float(np.linalg.norm(np.asarray(eye, float) - self.center))
+        return d > self.spheres.r_outer
+
+    def distance_from(self, eye: np.ndarray) -> float:
+        """Distance from a viewpoint to the cell center."""
+        return float(np.linalg.norm(np.asarray(eye, float) - self.center))
+
+    def namespaced_id(self, lattice: CameraLattice, key: ViewSetKey) -> str:
+        """A DVS/exNode id unique across cells."""
+        return f"{self.name}:{lattice.viewset_id(key)}"
+
+
+class CellSynthesizer:
+    """A synthesizer bound to one cell: translates rays into cell frame."""
+
+    def __init__(
+        self,
+        cell: FieldCell,
+        lattice: CameraLattice,
+        resolution: int,
+        provider: ViewSetProvider,
+        background: float = 0.0,
+        interpolation: str = "quadrilinear",
+    ) -> None:
+        self.cell = cell
+        self._inner = LightFieldSynthesizer(
+            lattice, cell.spheres, resolution, provider,
+            background=background, interpolation=interpolation,
+        )
+
+    @property
+    def synthesizer(self) -> LightFieldSynthesizer:
+        """The underlying origin-centered synthesizer."""
+        return self._inner
+
+    def render(self, camera: Camera) -> SynthesisResult:
+        """Render a frame with ray origins shifted into the cell's frame."""
+        origins, dirs = camera.rays()
+        shifted = origins - np.asarray(self.cell.center, float)
+        colors, cov, missing = self._inner.render_rays(shifted, dirs)
+        return SynthesisResult(
+            image=colors.reshape(camera.height, camera.width, 3),
+            coverage=cov,
+            missing_keys=missing,
+        )
+
+    def required_viewsets(self, camera: Camera):
+        """View sets this camera needs from this cell."""
+        origins, dirs = camera.rays()
+        shifted = origins - np.asarray(self.cell.center, float)
+        return self._inner.required_viewsets(shifted, dirs)
+
+
+class MultiFieldAtlas:
+    """A collection of field cells covering a dataset's interior."""
+
+    def __init__(self, cells: Sequence[FieldCell]) -> None:
+        if not cells:
+            raise ValueError("atlas needs at least one cell")
+        names = [c.name for c in cells]
+        if len(set(names)) != len(names):
+            raise ValueError("cell names must be unique")
+        self.cells: List[FieldCell] = list(cells)
+
+    @classmethod
+    def grid(
+        cls,
+        extent: float,
+        cells_per_axis: int,
+        r_outer_fraction: float = 0.45,
+        inner_fraction: float = 0.5,
+    ) -> "MultiFieldAtlas":
+        """A regular grid of cells tiling ``[-extent, extent]^3``.
+
+        ``r_outer_fraction`` scales each cell's outer sphere relative to the
+        half cell pitch: below 0.5 the supported zones of neighboring cells
+        overlap along corridors, so a camera walking through the dataset is
+        always outside at least one nearby cell.
+        """
+        if cells_per_axis < 1:
+            raise ValueError("cells_per_axis must be >= 1")
+        if not 0.0 < r_outer_fraction < 1.0:
+            raise ValueError("r_outer_fraction must be in (0, 1)")
+        pitch = 2.0 * extent / cells_per_axis
+        half = pitch / 2.0
+        r_outer = r_outer_fraction * pitch
+        r_inner = inner_fraction * r_outer
+        cells = []
+        coords = [
+            -extent + half + i * pitch for i in range(cells_per_axis)
+        ]
+        for ix, x in enumerate(coords):
+            for iy, y in enumerate(coords):
+                for iz, z in enumerate(coords):
+                    cells.append(
+                        FieldCell(
+                            name=f"cell-{ix}-{iy}-{iz}",
+                            center=(x, y, z),
+                            spheres=TwoSphere(r_inner=r_inner,
+                                              r_outer=r_outer),
+                        )
+                    )
+        return cls(cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def cell_by_name(self, name: str) -> FieldCell:
+        """Lookup by cell name; raises KeyError when absent."""
+        for c in self.cells:
+            if c.name == name:
+                return c
+        raise KeyError(f"no cell named {name!r}")
+
+    def supporting_cells(self, eye: np.ndarray) -> List[FieldCell]:
+        """All cells whose zone supports the viewpoint, nearest first."""
+        ok = [c for c in self.cells if c.supports(eye)]
+        ok.sort(key=lambda c: c.distance_from(eye))
+        return ok
+
+    def cell_for_viewpoint(
+        self, eye: np.ndarray, look_dir: Optional[np.ndarray] = None
+    ) -> Optional[FieldCell]:
+        """The cell to browse from a viewpoint.
+
+        The nearest supporting cell is chosen; with ``look_dir`` given,
+        cells ahead of the viewer are preferred (dot product > 0), matching
+        how an interior walkthrough looks at what is in front of it.
+        """
+        candidates = self.supporting_cells(eye)
+        if not candidates:
+            return None
+        if look_dir is not None:
+            d = np.asarray(look_dir, float)
+            n = np.linalg.norm(d)
+            if n > 0:
+                d = d / n
+                ahead = [
+                    c for c in candidates
+                    if (np.asarray(c.center) - eye) @ d > 0
+                ]
+                if ahead:
+                    return ahead[0]
+        return candidates[0]
+
+    def handoff_sequence(
+        self, path: np.ndarray
+    ) -> List[Tuple[int, Optional[str]]]:
+        """Cell handoffs along a camera path.
+
+        Returns ``(path index, cell name)`` at every point where the chosen
+        cell changes — the interior-navigation analogue of view-set boundary
+        crossings, and therefore the unit the streaming layer prefetches.
+        """
+        out: List[Tuple[int, Optional[str]]] = []
+        current: Optional[str] = "\0"  # sentinel different from any name
+        pts = np.asarray(path, dtype=float)
+        for i in range(len(pts)):
+            look = pts[i + 1] - pts[i] if i + 1 < len(pts) else None
+            cell = self.cell_for_viewpoint(pts[i], look)
+            name = cell.name if cell is not None else None
+            if name != current:
+                out.append((i, name))
+                current = name
+        return out

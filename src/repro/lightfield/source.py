@@ -1,0 +1,157 @@
+"""View-set payload sources for the streaming system.
+
+The streaming experiments (Figures 8-12) need *payload bytes* for every view
+set of a paper-scale database (12 × 24 view sets at 200²-600² sample views).
+Ray-casting all 10,368 sample views in pure Python would take hours per
+resolution, so two sources implement one protocol:
+
+* :class:`DatabaseSource` — a really-rendered :class:`LightFieldDatabase`
+  (used at test scale and by the fidelity experiments);
+* :class:`SyntheticSource` — procedurally generated sample views whose zlib
+  compressibility is calibrated to the paper's 5-7× band.  The pixel
+  *content* is irrelevant to streaming latency; only payload sizes and
+  (de)compression cost matter, and those are real: every payload is a real
+  zlib stream over a real uint8 view-set block.
+
+This substitution is recorded in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Protocol
+
+import numpy as np
+
+from .compression import ZlibCodec
+from .database import LightFieldDatabase
+from .lattice import CameraLattice, ViewSetKey
+from .sphere import TwoSphere
+from .viewset import ViewSet
+
+__all__ = ["ViewSetSource", "DatabaseSource", "SyntheticSource"]
+
+
+class ViewSetSource(Protocol):
+    """Provider of compressed view-set payloads for a whole lattice."""
+
+    lattice: CameraLattice
+    spheres: TwoSphere
+    resolution: int
+
+    def payload(self, key: ViewSetKey) -> bytes:
+        """Compressed wire payload for a view set."""
+        ...
+
+
+class DatabaseSource:
+    """Adapter exposing a built :class:`LightFieldDatabase` as a source."""
+
+    def __init__(self, db: LightFieldDatabase) -> None:
+        if not db.is_complete():
+            raise ValueError(
+                "streaming sessions need a complete database; "
+                f"{len(db)} of {db.lattice.n_viewsets} view sets present"
+            )
+        self.db = db
+        self.lattice = db.lattice
+        self.spheres = db.spheres
+        self.resolution = db.resolution
+
+    def payload(self, key: ViewSetKey) -> bytes:
+        return self.db.payload(key)
+
+
+class SyntheticSource:
+    """Procedural view sets with paper-band compressibility.
+
+    Each sample view is a smooth multi-frequency pattern (a stand-in for the
+    shaded negHip renders) plus low-amplitude deterministic noise that keeps
+    zlib from over-compressing; adjacent views drift slowly, mimicking view
+    coherence.  Payloads are produced lazily, cached, and deterministic in
+    ``(key, seed)``.
+
+    ``noise_fraction`` tunes the compression ratio — the fraction of
+    silhouette pixels carrying dither noise.  The default 0.13 lands zlib
+    level 6 in the paper's 5-7× band; 0 compresses far better, 0.3 worse.
+    """
+
+    def __init__(
+        self,
+        lattice: CameraLattice,
+        resolution: int,
+        spheres: Optional[TwoSphere] = None,
+        seed: int = 2003,
+        noise_fraction: float = 0.13,
+        codec: Optional[ZlibCodec] = None,
+    ) -> None:
+        if resolution < 1:
+            raise ValueError("resolution must be positive")
+        if not 0.0 <= noise_fraction <= 1.0:
+            raise ValueError("noise_fraction must be in [0, 1]")
+        self.lattice = lattice
+        self.resolution = int(resolution)
+        self.spheres = spheres if spheres is not None else TwoSphere(1.0, 2.5)
+        self.seed = seed
+        self.noise_fraction = float(noise_fraction)
+        self.codec = codec if codec is not None else ZlibCodec()
+        self._cache: Dict[ViewSetKey, bytes] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def viewset(self, key: ViewSetKey) -> ViewSet:
+        """Generate (deterministically) the uncompressed view set.
+
+        Structure mirrors a real sample view: zero background outside the
+        inner-sphere silhouette, smooth shaded interior (quantized — real
+        renders quantize to uint8 too), sparse dither noise standing in for
+        shading detail.
+        """
+        vi, vj = key
+        l, r = self.lattice.l, self.resolution
+        rng = np.random.default_rng(
+            (self.seed * 1_000_003 + vi * 1009 + vj) & 0x7FFFFFFF
+        )
+        span = np.linspace(-1.0, 1.0, r, dtype=np.float32)
+        xx, yy = np.meshgrid(span, span)
+        disk = (xx * xx + yy * yy) <= 0.92  # silhouette of inner sphere
+        phase = rng.uniform(0, 2 * np.pi, size=4).astype(np.float32)
+        freq = rng.uniform(2.0, 6.0, size=4).astype(np.float32)
+        images = np.zeros((l, l, r, r, 3), dtype=np.uint8)
+        n_disk = int(disk.sum())
+        for a in range(l):
+            for b in range(l):
+                drift = 0.06 * (a * l + b)  # slow per-view drift
+                base = (
+                    np.sin(freq[0] * xx + phase[0] + drift)
+                    + np.sin(freq[1] * yy + phase[1])
+                    + np.sin(freq[2] * (xx + yy) + phase[2] + drift)
+                ) / 3.0
+                lum = (0.5 + 0.45 * base) * 255.0
+                lum = np.round(lum / 3.0) * 3.0  # smooth quantized shading
+                img = np.stack(
+                    [lum, lum * 0.8, lum * 0.6 + 20.0], axis=-1
+                )
+                img[~disk] = 0.0
+                if self.noise_fraction > 0 and n_disk:
+                    mask = (rng.random((r, r)) < self.noise_fraction) & disk
+                    img[mask] += rng.integers(
+                        -5, 6, size=(int(mask.sum()), 3)
+                    )
+                images[a, b] = np.clip(img, 0, 255).astype(np.uint8)
+        return ViewSet(key=key, images=images)
+
+    def payload(self, key: ViewSetKey) -> bytes:
+        """Compressed payload (cached; thread-safe for parallel builds)."""
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self.codec.compress(self.viewset(key))
+        with self._lock:
+            self._cache[key] = result.payload
+        return result.payload
+
+    def raw_size(self) -> int:
+        """Uncompressed bytes of one view set (all are identical in size)."""
+        return ViewSet.payload_size(self.lattice.l, self.resolution)

@@ -1,0 +1,63 @@
+"""Logistical Networking substrate: simulated IBP depots, exNodes, L-Bone,
+LoRS runtime and the event-driven network they run over.
+
+This subpackage is a from-scratch functional model of the infrastructure the
+paper builds on (Section 2.2): the Network Storage Stack with IBP at the
+bottom, exNodes aggregating capabilities, the L-Bone for depot discovery and
+LoRS for striped/replicated/multi-stream data movement.
+"""
+
+from .exnode import ExNode, ExNodeError, Extent, Mapping
+from .ibp import (
+    Allocation,
+    Capability,
+    CapType,
+    Depot,
+    IBPError,
+    IBPExpiredError,
+    IBPNoSuchCapError,
+    IBPPermissionError,
+    IBPRefusedError,
+)
+from .lbone import DepotRecord, LBone, LBoneError
+from .lors import Deferred, DEFAULT_BLOCK_SIZE, LoRS, LoRSError
+from .network import Flow, Link, Network, NetworkError, NoRouteError, gbps, mbps
+from .simtime import Event, EventQueue, Process, SimClock, SimulationError
+from .warmer import LeaseWarmer, WarmerStats
+
+__all__ = [
+    "Allocation",
+    "Capability",
+    "CapType",
+    "Deferred",
+    "DEFAULT_BLOCK_SIZE",
+    "Depot",
+    "DepotRecord",
+    "Event",
+    "EventQueue",
+    "ExNode",
+    "ExNodeError",
+    "Extent",
+    "Flow",
+    "IBPError",
+    "IBPExpiredError",
+    "IBPNoSuchCapError",
+    "IBPPermissionError",
+    "IBPRefusedError",
+    "LBone",
+    "LBoneError",
+    "Link",
+    "LoRS",
+    "LoRSError",
+    "Mapping",
+    "Network",
+    "NetworkError",
+    "NoRouteError",
+    "Process",
+    "SimClock",
+    "SimulationError",
+    "LeaseWarmer",
+    "WarmerStats",
+    "gbps",
+    "mbps",
+]

@@ -1,0 +1,302 @@
+"""The exNode: XML-encoded aggregation of IBP capabilities.
+
+exNodes are to network storage what inodes are to a local filesystem, except
+that they map the data extent of a logical file onto IBP *allocations on
+depots* rather than onto disk blocks.  A single extent may be covered by
+several mappings — replicas on different depots — and a file may be *striped*:
+consecutive extents living on different depots.  The paper's streaming model
+caches only exNodes at the client agent; the bytes stay in the network until
+needed.
+
+This module round-trips exNodes through real XML (the paper: "an XML-encoded
+data structure for aggregation of capabilities"), using a schema modelled on
+the Logistical Computing and Internetworking Lab's exNode DTD, simplified to
+the fields this system exercises.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .ibp import Capability, CapType
+
+__all__ = ["Extent", "Mapping", "ExNode", "ExNodeError"]
+
+
+class ExNodeError(ValueError):
+    """Malformed or inconsistent exNode."""
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous byte range of the logical file."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise ExNodeError(
+                f"invalid extent offset={self.offset} length={self.length}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.offset + self.length
+
+    def overlaps(self, other: "Extent") -> bool:
+        """True if the two ranges share at least one byte."""
+        return self.offset < other.end and other.offset < self.end
+
+    def contains(self, other: "Extent") -> bool:
+        """True if ``other`` lies entirely within this extent."""
+        return self.offset <= other.offset and other.end <= self.end
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One extent stored on one depot, addressed by its capabilities.
+
+    ``write_cap`` and ``manage_cap`` may be withheld (None) when an exNode is
+    handed to a party that should only read — capability-based security.
+    """
+
+    extent: Extent
+    read_cap: Capability
+    write_cap: Optional[Capability] = None
+    manage_cap: Optional[Capability] = None
+
+    def __post_init__(self) -> None:
+        if self.read_cap.type is not CapType.READ:
+            raise ExNodeError("read_cap must be a READ capability")
+        if self.write_cap is not None and self.write_cap.type is not CapType.WRITE:
+            raise ExNodeError("write_cap must be a WRITE capability")
+        if (
+            self.manage_cap is not None
+            and self.manage_cap.type is not CapType.MANAGE
+        ):
+            raise ExNodeError("manage_cap must be a MANAGE capability")
+
+    @property
+    def depot(self) -> str:
+        """Name of the depot holding this replica."""
+        return self.read_cap.depot
+
+
+class ExNode:
+    """A logical file mapped onto IBP allocations.
+
+    Parameters
+    ----------
+    name:
+        Logical identifier (e.g. a view-set id).
+    length:
+        Total logical file size in bytes.
+    mappings:
+        Extent→capability mappings; replicas are simply multiple mappings
+        over the same (or overlapping) extents.
+    metadata:
+        Free-form string key/values carried in the XML (checksums, codec...).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        length: int,
+        mappings: Iterable[Mapping] = (),
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if length < 0:
+            raise ExNodeError(f"negative length {length}")
+        self.name = name
+        self.length = int(length)
+        self.mappings: List[Mapping] = list(mappings)
+        self.metadata: Dict[str, str] = dict(metadata or {})
+        for m in self.mappings:
+            self._check_mapping(m)
+
+    def _check_mapping(self, m: Mapping) -> None:
+        if m.extent.end > self.length:
+            raise ExNodeError(
+                f"mapping extent {m.extent} exceeds file length {self.length}"
+            )
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def add_mapping(self, m: Mapping) -> None:
+        """Append a mapping (e.g. after replication via LoRS augment)."""
+        self._check_mapping(m)
+        self.mappings.append(m)
+
+    def remove_depot(self, depot: str) -> int:
+        """Drop every mapping on ``depot`` (LoRS trim); returns count removed."""
+        before = len(self.mappings)
+        self.mappings = [m for m in self.mappings if m.depot != depot]
+        return before - len(self.mappings)
+
+    def depots(self) -> Tuple[str, ...]:
+        """Distinct depots referenced, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for m in self.mappings:
+            seen.setdefault(m.depot, None)
+        return tuple(seen)
+
+    def mappings_overlapping(self, offset: int, length: int) -> List[Mapping]:
+        """All mappings that intersect the byte range [offset, offset+length)."""
+        if length <= 0:
+            return []
+        want = Extent(offset, length)
+        return [m for m in self.mappings if m.extent.overlaps(want)]
+
+    def is_fully_covered(self) -> bool:
+        """True if every byte in [0, length) has at least one replica."""
+        if self.length == 0:
+            return True
+        ivals = sorted(
+            ((m.extent.offset, m.extent.end) for m in self.mappings)
+        )
+        covered_to = 0
+        for start, end in ivals:
+            if start > covered_to:
+                return False
+            covered_to = max(covered_to, end)
+            if covered_to >= self.length:
+                return True
+        return covered_to >= self.length
+
+    def replica_count(self, offset: int, length: int) -> int:
+        """Minimum replica multiplicity across the given byte range."""
+        if length <= 0:
+            return 0
+        # replica count changes only at extent boundaries
+        points = sorted(
+            {offset, offset + length}
+            | {
+                p
+                for m in self.mappings_overlapping(offset, length)
+                for p in (m.extent.offset, m.extent.end)
+                if offset < p < offset + length
+            }
+        )
+        min_count = None
+        for a, b in zip(points, points[1:]):
+            n = sum(
+                1
+                for m in self.mappings
+                if m.extent.offset <= a and b <= m.extent.end
+            )
+            min_count = n if min_count is None else min(min_count, n)
+        return min_count or 0
+
+    # ------------------------------------------------------------------
+    # XML round-trip
+    # ------------------------------------------------------------------
+    _NS = "exnode"
+
+    def to_xml(self) -> str:
+        """Serialize to an XML document string."""
+        root = ET.Element(
+            self._NS, {"name": self.name, "length": str(self.length)}
+        )
+        meta = ET.SubElement(root, "metadata")
+        for k in sorted(self.metadata):
+            ET.SubElement(meta, "attr", {"key": k, "value": self.metadata[k]})
+        for m in self.mappings:
+            el = ET.SubElement(
+                root,
+                "mapping",
+                {
+                    "offset": str(m.extent.offset),
+                    "length": str(m.extent.length),
+                },
+            )
+            ET.SubElement(el, "read").text = str(m.read_cap)
+            if m.write_cap is not None:
+                ET.SubElement(el, "write").text = str(m.write_cap)
+            if m.manage_cap is not None:
+                ET.SubElement(el, "manage").text = str(m.manage_cap)
+        return ET.tostring(root, encoding="unicode")
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ExNode":
+        """Parse an exNode previously produced by :meth:`to_xml`."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ExNodeError(f"invalid exNode XML: {exc}") from exc
+        if root.tag != cls._NS:
+            raise ExNodeError(f"unexpected root element {root.tag!r}")
+        try:
+            name = root.attrib["name"]
+            length = int(root.attrib["length"])
+        except (KeyError, ValueError) as exc:
+            raise ExNodeError("missing/invalid exNode attributes") from exc
+        metadata: Dict[str, str] = {}
+        meta = root.find("metadata")
+        if meta is not None:
+            for attr in meta.findall("attr"):
+                metadata[attr.attrib["key"]] = attr.attrib["value"]
+        mappings: List[Mapping] = []
+        for el in root.findall("mapping"):
+            try:
+                extent = Extent(
+                    int(el.attrib["offset"]), int(el.attrib["length"])
+                )
+            except (KeyError, ValueError) as exc:
+                raise ExNodeError("bad mapping extent") from exc
+            read_el = el.find("read")
+            if read_el is None or not read_el.text:
+                raise ExNodeError("mapping lacks a read capability")
+            read_cap = Capability.parse(read_el.text)
+            write_el = el.find("write")
+            manage_el = el.find("manage")
+            mappings.append(
+                Mapping(
+                    extent=extent,
+                    read_cap=read_cap,
+                    write_cap=(
+                        Capability.parse(write_el.text)
+                        if write_el is not None and write_el.text
+                        else None
+                    ),
+                    manage_cap=(
+                        Capability.parse(manage_el.text)
+                        if manage_el is not None and manage_el.text
+                        else None
+                    ),
+                )
+            )
+        return cls(name=name, length=length, mappings=mappings,
+                   metadata=metadata)
+
+    def read_only_view(self) -> "ExNode":
+        """A copy exposing only read capabilities (safe to hand to clients)."""
+        return ExNode(
+            name=self.name,
+            length=self.length,
+            mappings=[
+                Mapping(extent=m.extent, read_cap=m.read_cap)
+                for m in self.mappings
+            ],
+            metadata=dict(self.metadata),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExNode):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.length == other.length
+            and self.mappings == other.mappings
+            and self.metadata == other.metadata
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExNode({self.name!r}, length={self.length}, "
+            f"mappings={len(self.mappings)}, depots={self.depots()})"
+        )

@@ -1,0 +1,116 @@
+"""Fault injection for the LoN substrate.
+
+IBP is explicitly a *best effort* service: allocations expire, depots vanish,
+links flap.  The paper's argument for replication and exNode-level failover
+only holds if the system tolerates these events, so we make them injectable:
+
+* :class:`DepotOutage` — take a depot off the network for a window;
+* :class:`LeaseStorm` — slash lease durations so allocations expire under the
+  application (exercising re-staging and DVS fallback);
+* :class:`FlakyLinks` — schedule random link down/up cycles from a seeded RNG.
+
+All injectors are driven by the shared event queue, so faults land at
+deterministic simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .ibp import Depot
+from .network import Network
+from .simtime import EventQueue
+
+__all__ = ["DepotOutage", "LeaseStorm", "FlakyLinks"]
+
+
+@dataclass
+class DepotOutage:
+    """Severs the link between a depot and its neighbor for a time window."""
+
+    network: Network
+    depot_name: str
+    neighbor: str
+
+    def schedule(self, queue: EventQueue, start: float, duration: float) -> None:
+        """Arrange the outage at absolute sim time ``start``."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        queue.schedule(
+            start,
+            lambda: self.network.set_link_up(
+                self.depot_name, self.neighbor, False
+            ),
+            f"outage-start:{self.depot_name}",
+        )
+        queue.schedule(
+            start + duration,
+            lambda: self.network.set_link_up(
+                self.depot_name, self.neighbor, True
+            ),
+            f"outage-end:{self.depot_name}",
+        )
+
+
+@dataclass
+class LeaseStorm:
+    """Shrinks a depot's max lease so new allocations expire quickly."""
+
+    depot: Depot
+
+    def apply(self, max_duration: float) -> float:
+        """Set the cap; returns the previous value for restoration."""
+        if max_duration <= 0:
+            raise ValueError("max_duration must be positive")
+        previous = self.depot.max_duration
+        self.depot.max_duration = max_duration
+        return previous
+
+
+class FlakyLinks:
+    """Randomly scheduled down/up cycles on a set of links."""
+
+    def __init__(
+        self,
+        network: Network,
+        queue: EventQueue,
+        links: Sequence[Tuple[str, str]],
+        rng: np.random.Generator,
+    ) -> None:
+        self.network = network
+        self.queue = queue
+        self.links = list(links)
+        self.rng = rng
+
+    def schedule_cycles(
+        self,
+        horizon: float,
+        mean_up: float = 10.0,
+        mean_down: float = 0.5,
+    ) -> List[Tuple[float, float, Tuple[str, str]]]:
+        """Schedule exponential up/down cycles until ``horizon``.
+
+        Returns the list of (down_at, up_at, link) windows for assertions.
+        """
+        windows: List[Tuple[float, float, Tuple[str, str]]] = []
+        for link in self.links:
+            t = self.queue.now + float(self.rng.exponential(mean_up))
+            while t < horizon:
+                down = float(self.rng.exponential(mean_down))
+                up_at = min(t + down, horizon)
+                a, b = link
+                self.queue.schedule(
+                    t, lambda a=a, b=b: self.network.set_link_up(a, b, False),
+                    f"flaky-down:{a}-{b}",
+                )
+                self.queue.schedule(
+                    up_at,
+                    lambda a=a, b=b: self.network.set_link_up(a, b, True),
+                    f"flaky-up:{a}-{b}",
+                )
+                windows.append((t, up_at, link))
+                t = up_at + float(self.rng.exponential(mean_up))
+        return windows

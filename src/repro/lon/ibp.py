@@ -1,0 +1,395 @@
+"""Internet Backplane Protocol (IBP) depots.
+
+IBP is the bottom of the Network Storage Stack (Figure 1 of the paper): a
+*best-effort* storage service exposed by intermediate nodes called **depots**.
+This module reproduces the semantics the paper relies on:
+
+* ``allocate`` — reserve a byte array with a **time-limited lease**; the depot
+  may **refuse** on over-allocation ("admission decisions ... based on both
+  size and duration");
+* ``store`` / ``load`` — write/read the byte array through write/read
+  **capabilities** (unforgeable strings, one per access mode);
+* ``copy`` — **third-party transfer** from one depot directly to another,
+  which powers the two-stage aggressive staging "without consuming resources
+  on either the client or the client agent";
+* ``manage`` — probe, extend/shorten the lease, or decrement the refcount;
+* **soft allocations** — revocable at any time when a hard allocation needs
+  the space, modelling the "sharing of idle resources".
+
+A depot is a passive state machine living at a network node; the cost of
+talking to it (RPC round-trips, bulk data movement) is charged by callers
+through :class:`repro.lon.network.Network`.  Expired leases are reclaimed
+lazily on access and eagerly by a reaper process.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .simtime import EventQueue, Process
+
+__all__ = [
+    "CapType",
+    "Capability",
+    "Allocation",
+    "Depot",
+    "IBPError",
+    "IBPRefusedError",
+    "IBPNoSuchCapError",
+    "IBPExpiredError",
+    "IBPPermissionError",
+    "IBP_MAX_DURATION",
+]
+
+#: longest lease a depot will grant, in seconds (24 h, as deployed L-Bone
+#: depots commonly configured).
+IBP_MAX_DURATION = 24 * 3600.0
+
+
+class IBPError(RuntimeError):
+    """Base class for IBP failures."""
+
+
+class IBPRefusedError(IBPError):
+    """Allocation refused (over-allocation / policy), like a dropped packet."""
+
+
+class IBPNoSuchCapError(IBPError):
+    """Capability does not name a live allocation on this depot."""
+
+
+class IBPExpiredError(IBPNoSuchCapError):
+    """The allocation's lease expired and the bytes were reclaimed."""
+
+
+class IBPPermissionError(IBPError):
+    """Capability type does not permit the requested operation."""
+
+
+class CapType(str, Enum):
+    """Access mode conveyed by a capability."""
+
+    READ = "READ"
+    WRITE = "WRITE"
+    MANAGE = "MANAGE"
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An unforgeable reference to an allocation on a specific depot.
+
+    Rendered as ``ibp://<depot>/<key>#<type>``, mirroring the textual caps
+    returned by real IBP depots.
+    """
+
+    depot: str
+    key: str
+    type: CapType
+
+    def __str__(self) -> str:
+        return f"ibp://{self.depot}/{self.key}#{self.type.value}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Capability":
+        """Inverse of ``str(cap)``; raises ValueError on malformed input."""
+        if not text.startswith("ibp://"):
+            raise ValueError(f"not an IBP capability: {text!r}")
+        rest = text[len("ibp://"):]
+        try:
+            hostpart, frag = rest.rsplit("#", 1)
+            depot, key = hostpart.split("/", 1)
+            ctype = CapType(frag)
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"malformed IBP capability: {text!r}") from exc
+        if not depot or not key:
+            raise ValueError(f"malformed IBP capability: {text!r}")
+        return cls(depot=depot, key=key, type=ctype)
+
+
+@dataclass
+class Allocation:
+    """A leased byte array on a depot."""
+
+    key: str
+    size: int
+    expires_at: float
+    soft: bool
+    data: bytearray = field(default_factory=bytearray)
+    refcount: int = 1
+    bytes_written: int = 0
+
+    def live(self, now: float) -> bool:
+        """Lease still valid and refcount positive."""
+        return self.refcount > 0 and now < self.expires_at
+
+
+@dataclass
+class DepotStats:
+    """Operation counters, for tests and benchmark reporting."""
+
+    allocates: int = 0
+    refusals: int = 0
+    stores: int = 0
+    loads: int = 0
+    copies: int = 0
+    revoked_soft: int = 0
+    expired: int = 0
+    bytes_stored: int = 0
+    bytes_loaded: int = 0
+
+
+class Depot:
+    """A simulated IBP depot.
+
+    Parameters
+    ----------
+    name:
+        Network node name this depot lives at.
+    queue:
+        Simulation event queue (for lease time and the reaper).
+    capacity:
+        Total bytes of storage this depot will lease out.
+    max_duration:
+        Longest lease granted; longer requests are *refused*, not clamped,
+        matching IBP's admission-decision semantics.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        queue: EventQueue,
+        capacity: int = 1 << 30,
+        max_duration: float = IBP_MAX_DURATION,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("depot capacity must be positive")
+        self.name = name
+        self.queue = queue
+        self.capacity = int(capacity)
+        self.max_duration = float(max_duration)
+        self._allocs: Dict[str, Allocation] = {}
+        self._keyseq = itertools.count(1)
+        self.stats = DepotStats()
+        self._reaper = Process(queue, self._reap_tick, f"reaper:{name}")
+
+    # ------------------------------------------------------------------
+    # capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Bytes currently committed to live allocations."""
+        now = self.queue.now
+        return sum(a.size for a in self._allocs.values() if a.live(now))
+
+    @property
+    def free(self) -> int:
+        """Bytes available for new hard allocations (after purging dead)."""
+        self._purge_expired()
+        return self.capacity - self.used
+
+    def _purge_expired(self) -> None:
+        now = self.queue.now
+        dead = [k for k, a in self._allocs.items() if not a.live(now)]
+        for k in dead:
+            del self._allocs[k]
+            self.stats.expired += 1
+
+    def _revoke_soft(self, needed: int) -> int:
+        """Revoke soft allocations (oldest lease first) to free ``needed``."""
+        freed = 0
+        soft = sorted(
+            (a for a in self._allocs.values() if a.soft),
+            key=lambda a: a.expires_at,
+        )
+        for a in soft:
+            if freed >= needed:
+                break
+            del self._allocs[a.key]
+            self.stats.revoked_soft += 1
+            freed += a.size
+        return freed
+
+    # ------------------------------------------------------------------
+    # the four IBP operations
+    # ------------------------------------------------------------------
+    def allocate(
+        self, size: int, duration: float, soft: bool = False
+    ) -> Tuple[Capability, Capability, Capability]:
+        """Lease ``size`` bytes for ``duration`` seconds.
+
+        Returns (read, write, manage) capabilities.  Raises
+        :class:`IBPRefusedError` if the request exceeds policy or capacity —
+        after attempting to reclaim expired and (for hard requests) soft
+        allocations.
+        """
+        self.stats.allocates += 1
+        if size <= 0:
+            self.stats.refusals += 1
+            raise IBPRefusedError(f"{self.name}: non-positive size {size}")
+        if duration <= 0 or duration > self.max_duration:
+            self.stats.refusals += 1
+            raise IBPRefusedError(
+                f"{self.name}: duration {duration}s outside (0, "
+                f"{self.max_duration}]"
+            )
+        self._purge_expired()
+        avail = self.capacity - self.used
+        if size > avail and not soft:
+            avail += self._revoke_soft(size - avail)
+        if size > avail:
+            self.stats.refusals += 1
+            raise IBPRefusedError(
+                f"{self.name}: over-allocation ({size} > {avail} free)"
+            )
+        key = f"a{next(self._keyseq):08d}"
+        self._allocs[key] = Allocation(
+            key=key,
+            size=size,
+            expires_at=self.queue.now + duration,
+            soft=soft,
+        )
+        return (
+            Capability(self.name, key, CapType.READ),
+            Capability(self.name, key, CapType.WRITE),
+            Capability(self.name, key, CapType.MANAGE),
+        )
+
+    def _resolve(self, cap: Capability, required: CapType) -> Allocation:
+        if cap.depot != self.name:
+            raise IBPNoSuchCapError(
+                f"capability for depot {cap.depot!r} presented to {self.name!r}"
+            )
+        if cap.type is not required:
+            raise IBPPermissionError(
+                f"{self.name}: {required.value} required, got {cap.type.value}"
+            )
+        alloc = self._allocs.get(cap.key)
+        if alloc is None:
+            raise IBPNoSuchCapError(f"{self.name}: no allocation {cap.key}")
+        if not alloc.live(self.queue.now):
+            del self._allocs[cap.key]
+            self.stats.expired += 1
+            raise IBPExpiredError(f"{self.name}: allocation {cap.key} expired")
+        return alloc
+
+    def store(self, cap: Capability, data: bytes, offset: int = 0) -> int:
+        """Write ``data`` at ``offset``; returns bytes written.
+
+        Writing past the leased size raises :class:`IBPRefusedError` (real
+        depots return IBP_E_WOULD_EXCEED_LIMIT).
+        """
+        alloc = self._resolve(cap, CapType.WRITE)
+        end = offset + len(data)
+        if offset < 0 or end > alloc.size:
+            raise IBPRefusedError(
+                f"{self.name}: write [{offset}, {end}) exceeds allocation "
+                f"size {alloc.size}"
+            )
+        if len(alloc.data) < end:
+            alloc.data.extend(b"\x00" * (end - len(alloc.data)))
+        alloc.data[offset:end] = data
+        alloc.bytes_written = max(alloc.bytes_written, end)
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(data)
+        return len(data)
+
+    def load(
+        self, cap: Capability, offset: int = 0, length: Optional[int] = None
+    ) -> bytes:
+        """Read ``length`` bytes from ``offset`` (default: to end of data)."""
+        alloc = self._resolve(cap, CapType.READ)
+        if length is None:
+            length = alloc.bytes_written - offset
+        end = offset + length
+        if offset < 0 or length < 0 or end > alloc.size:
+            raise IBPRefusedError(
+                f"{self.name}: read [{offset}, {end}) exceeds allocation "
+                f"size {alloc.size}"
+            )
+        chunk = bytes(alloc.data[offset:end])
+        if len(chunk) < length:  # reading past written extent yields zeros
+            chunk += b"\x00" * (length - len(chunk))
+        self.stats.loads += 1
+        self.stats.bytes_loaded += len(chunk)
+        return chunk
+
+    def copy_out(
+        self, cap: Capability, offset: int = 0, length: Optional[int] = None
+    ) -> bytes:
+        """Source side of a third-party copy (counted as a copy, not a load)."""
+        alloc = self._resolve(cap, CapType.READ)
+        if length is None:
+            length = alloc.bytes_written - offset
+        self.stats.copies += 1
+        chunk = bytes(alloc.data[offset:offset + length])
+        if len(chunk) < length:
+            chunk += b"\x00" * (length - len(chunk))
+        return chunk
+
+    def manage_probe(self, cap: Capability) -> Dict[str, object]:
+        """Probe an allocation: size, written extent, lease expiry, softness."""
+        alloc = self._resolve(cap, CapType.MANAGE)
+        return {
+            "key": alloc.key,
+            "size": alloc.size,
+            "bytes_written": alloc.bytes_written,
+            "expires_at": alloc.expires_at,
+            "soft": alloc.soft,
+            "refcount": alloc.refcount,
+        }
+
+    def manage_extend(self, cap: Capability, extra: float) -> float:
+        """Extend the lease by ``extra`` seconds; returns new expiry.
+
+        Extension beyond ``max_duration`` from now is refused.
+        """
+        alloc = self._resolve(cap, CapType.MANAGE)
+        new_expiry = alloc.expires_at + extra
+        if new_expiry > self.queue.now + self.max_duration:
+            raise IBPRefusedError(
+                f"{self.name}: lease extension beyond max duration"
+            )
+        alloc.expires_at = new_expiry
+        return new_expiry
+
+    def manage_decrement(self, cap: Capability) -> None:
+        """Drop one reference; at zero the allocation is reclaimed."""
+        alloc = self._resolve(cap, CapType.MANAGE)
+        alloc.refcount -= 1
+        if alloc.refcount <= 0:
+            del self._allocs[cap.key]
+
+    def manage_increment(self, cap: Capability) -> None:
+        """Add one reference (used when an exNode is shared)."""
+        alloc = self._resolve(cap, CapType.MANAGE)
+        alloc.refcount += 1
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+    def start_reaper(self, period: float = 60.0) -> None:
+        """Start periodic eager reclamation of expired leases."""
+        self._reap_period = period
+        self._reaper.start(period)
+
+    def stop_reaper(self) -> None:
+        """Stop the reaper process."""
+        self._reaper.stop()
+
+    def _reap_tick(self) -> Optional[float]:
+        self._purge_expired()
+        return getattr(self, "_reap_period", 60.0)
+
+    def keys(self) -> Iterator[str]:
+        """Live allocation keys (test/diagnostic use)."""
+        now = self.queue.now
+        return iter([k for k, a in self._allocs.items() if a.live(now)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Depot({self.name!r}, used={self.used}/{self.capacity}, "
+            f"allocs={len(self._allocs)})"
+        )

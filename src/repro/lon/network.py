@@ -1,0 +1,447 @@
+"""Simulated network: topology, links, and max-min fair flow transfers.
+
+This module stands in for the real Internet path between the client LAN at UT
+Knoxville and the IBP depots in California.  It models exactly the properties
+the paper's evaluation depends on:
+
+* **propagation latency** per link (WAN ~tens of ms, LAN ~sub-ms), which
+  dominates small control messages (DVS queries, IBP manage calls);
+* **bandwidth** per link, shared **max-min fairly** among concurrent flows,
+  which is what makes LoRS multi-stream downloads faster than a single socket
+  and what makes aggressive staging slow down foreground misses (the
+  "prefetching ... places a burden" observation in Section 4.3);
+* **dynamic re-rating**: whenever a flow starts or finishes, all flow rates
+  are recomputed and completion events rescheduled.
+
+Routing is shortest-path by latency over a :mod:`networkx` graph.  Transfers
+deliver their completion callback after ``path propagation latency +
+serialization time at the allocated rate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from .simtime import Event, EventQueue, SimulationError
+
+__all__ = [
+    "Link",
+    "Flow",
+    "Network",
+    "NetworkError",
+    "NoRouteError",
+    "mbps",
+    "gbps",
+]
+
+
+def mbps(x: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return x * 1e6 / 8.0
+
+
+def gbps(x: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return x * 1e9 / 8.0
+
+
+class NetworkError(RuntimeError):
+    """Base class for simulated-network failures."""
+
+
+class NoRouteError(NetworkError):
+    """No path exists between the requested endpoints."""
+
+
+@dataclass
+class Link:
+    """A duplex link between two named nodes.
+
+    ``bandwidth`` is in bytes/second, ``latency`` in seconds (one-way
+    propagation).  ``up`` toggles availability for fault injection.
+    """
+
+    a: str
+    b: str
+    bandwidth: float
+    latency: float
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"link bandwidth must be positive: {self}")
+        if self.latency < 0:
+            raise ValueError(f"link latency must be non-negative: {self}")
+
+    @property
+    def key(self) -> FrozenSet[str]:
+        """Unordered endpoint pair identifying this link."""
+        return frozenset((self.a, self.b))
+
+
+@dataclass
+class Flow:
+    """An in-progress bulk transfer along a fixed path.
+
+    Bookkeeping invariant: ``remaining`` is exact as of ``last_update``;
+    between rate changes the flow drains linearly at ``rate`` bytes/second.
+    """
+
+    src: str
+    dst: str
+    size: int
+    path_links: Tuple[FrozenSet[str], ...]
+    on_complete: Callable[["Flow"], None]
+    on_fail: Optional[Callable[["Flow", Exception], None]] = None
+    label: str = ""
+    rate_cap: float = float("inf")  # TCP window / RTT ceiling
+    remaining: float = field(init=False)
+    rate: float = field(default=0.0, init=False)
+    last_update: float = field(default=0.0, init=False)
+    start_time: float = field(default=0.0, init=False)
+    finish_time: Optional[float] = field(default=None, init=False)
+    prop_latency: float = field(default=0.0, init=False)
+    drained_at: Optional[float] = field(default=None, init=False)
+    _completion_event: Optional[Event] = field(default=None, init=False)
+    done: bool = field(default=False, init=False)
+    failed: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("flow size must be non-negative")
+        self.remaining = float(self.size)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Total transfer duration, once finished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+
+class Network:
+    """Topology container + flow scheduler.
+
+    Nodes are plain strings.  Add links with :meth:`add_link`, then move bytes
+    with :meth:`transfer` (bulk, bandwidth-shared) or ask for
+    :meth:`rpc_delay` (small control messages that only pay propagation).
+    """
+
+    #: fixed per-message processing overhead applied to RPCs (seconds); stands
+    #: in for kernel + daemon request handling on 2003-era hardware.
+    RPC_OVERHEAD = 0.0005
+
+    def __init__(self, queue: EventQueue,
+                 tcp_window: Optional[float] = None) -> None:
+        """``tcp_window`` (bytes) caps each flow at window/RTT — the
+        single-stream TCP throughput ceiling that makes multi-stream LoRS
+        downloads and third-party staging worthwhile.  None = uncapped."""
+        self.queue = queue
+        self.tcp_window = tcp_window
+        self.graph = nx.Graph()
+        self._links: Dict[FrozenSet[str], Link] = {}
+        self._flows: List[Flow] = []
+        self._route_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        """Register a host (idempotent)."""
+        self.graph.add_node(name)
+
+    def add_link(
+        self, a: str, b: str, bandwidth: float, latency: float
+    ) -> Link:
+        """Create a duplex link; replaces any existing a<->b link."""
+        link = Link(a=a, b=b, bandwidth=bandwidth, latency=latency)
+        self._links[link.key] = link
+        self.graph.add_edge(a, b, latency=latency)
+        self._route_cache.clear()
+        return link
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The link object joining two adjacent nodes."""
+        try:
+            return self._links[frozenset((a, b))]
+        except KeyError:
+            raise NoRouteError(f"no direct link {a} <-> {b}") from None
+
+    def set_link_up(self, a: str, b: str, up: bool) -> None:
+        """Fault injection: take a link down or bring it back.
+
+        Downing a link fails every flow currently routed over it and
+        invalidates the route cache.
+        """
+        link = self.link_between(a, b)
+        if link.up == up:
+            return
+        link.up = up
+        self._route_cache.clear()
+        if up:
+            self.graph.add_edge(a, b, latency=link.latency)
+        else:
+            self.graph.remove_edge(a, b)
+            doomed = [f for f in self._flows if link.key in f.path_links]
+            for f in doomed:
+                self._fail_flow(f, NetworkError(f"link {a}<->{b} went down"))
+
+    def route(self, src: str, dst: str) -> Tuple[str, ...]:
+        """Latency-shortest node path from src to dst (cached)."""
+        if src == dst:
+            return (src,)
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            path = tuple(
+                nx.shortest_path(self.graph, src, dst, weight="latency")
+            )
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise NoRouteError(f"no route {src} -> {dst}") from None
+        self._route_cache[key] = path
+        return path
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """One-way propagation latency along the current route."""
+        path = self.route(src, dst)
+        return sum(
+            self.link_between(u, v).latency for u, v in zip(path, path[1:])
+        )
+
+    def rpc_delay(self, src: str, dst: str) -> float:
+        """Round-trip delay for a small request/response exchange."""
+        if src == dst:
+            return self.RPC_OVERHEAD
+        return 2.0 * self.path_latency(src, dst) + self.RPC_OVERHEAD
+
+    # ------------------------------------------------------------------
+    # flows
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> Tuple[Flow, ...]:
+        """Currently in-flight transfers."""
+        return tuple(self._flows)
+
+    def transfer(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        on_complete: Callable[[Flow], None],
+        on_fail: Optional[Callable[[Flow, Exception], None]] = None,
+        label: str = "",
+    ) -> Flow:
+        """Start a bulk transfer of ``size`` bytes from src to dst.
+
+        ``on_complete(flow)`` fires at simulated delivery time.  Same-node
+        transfers complete after a nominal memcpy delay.  Raises
+        :class:`NoRouteError` immediately if the endpoints are partitioned.
+        """
+        now = self.queue.now
+        if src == dst:
+            flow = Flow(src, dst, size, (), on_complete, on_fail, label)
+            flow.start_time = now
+            memcpy = 1e-4 + size / gbps(8.0)  # local copy at ~8 Gb/s
+            flow.finish_time = now + memcpy
+            flow._completion_event = self.queue.schedule_in(
+                memcpy, lambda: self._finish_flow(flow), f"flow:{label}"
+            )
+            return flow
+
+        path = self.route(src, dst)
+        links = tuple(
+            self.link_between(u, v).key for u, v in zip(path, path[1:])
+        )
+        flow = Flow(src, dst, size, links, on_complete, on_fail, label)
+        flow.start_time = now
+        flow.last_update = now
+        flow.prop_latency = self.path_latency(src, dst)
+        if self.tcp_window is not None:
+            rtt = max(2.0 * flow.prop_latency, 1e-6)
+            flow.rate_cap = self.tcp_window / rtt
+        self._flows.append(flow)
+        self._rebalance()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort an in-flight transfer without invoking callbacks."""
+        if flow.done or flow.failed:
+            return
+        flow.failed = True
+        if flow._completion_event is not None:
+            self.queue.cancel(flow._completion_event)
+            flow._completion_event = None
+        if flow in self._flows:
+            self._flows.remove(flow)
+            self._rebalance()
+
+    # -- internals ------------------------------------------------------
+    def _settle(self, now: float) -> None:
+        """Drain each flow's progress up to ``now`` at its current rate."""
+        for f in self._flows:
+            dt = now - f.last_update
+            if dt > 0:
+                if f.rate > 0 and f.drained_at is None:
+                    t_drain = f.last_update + f.remaining / f.rate
+                    if t_drain <= now + 1e-12:
+                        f.drained_at = t_drain
+                if f.drained_at is not None:
+                    f.remaining = 0.0  # exact: no float residue
+                else:
+                    f.remaining = max(0.0, f.remaining - f.rate * dt)
+                f.last_update = now
+
+    def _maxmin_rates(self) -> Dict[int, float]:
+        """Max-min fair rate for every active flow (water-filling)."""
+        # flows whose bytes have fully drained are in their propagation
+        # tail and no longer consume link bandwidth
+        active = {id(f): f for f in self._flows if f.drained_at is None}
+        caps: Dict[object, float] = {
+            k: l.bandwidth for k, l in self._links.items() if l.up
+        }
+        members: Dict[object, List[int]] = {}
+        for fid, f in active.items():
+            for lk in f.path_links:
+                members.setdefault(lk, []).append(fid)
+            if f.rate_cap != float("inf"):
+                # a flow's TCP-window ceiling is a virtual single-flow link
+                cap_key = ("cap", fid)
+                caps[cap_key] = f.rate_cap
+                members[cap_key] = [fid]
+        rates: Dict[int, float] = {}
+        unassigned = set(active)
+        while unassigned:
+            # fair share currently offered by each constrained link
+            best_share = None
+            best_link = None
+            for lk, flows_on in members.items():
+                live = [fid for fid in flows_on if fid in unassigned]
+                if not live:
+                    continue
+                share = caps[lk] / len(live)
+                if best_share is None or share < best_share:
+                    best_share = share
+                    best_link = lk
+            if best_link is None:
+                # remaining flows traverse no capacity-constrained link
+                for fid in unassigned:
+                    rates[fid] = float("inf")
+                break
+            for fid in list(members[best_link]):
+                if fid in unassigned:
+                    rates[fid] = best_share
+                    unassigned.discard(fid)
+                    for lk in active[fid].path_links:
+                        if lk != best_link:
+                            caps[lk] = max(0.0, caps[lk] - best_share)
+            caps[best_link] = 0.0
+            members.pop(best_link)
+        return rates
+
+    def _rebalance(self) -> None:
+        """Recompute rates and reschedule all completion events."""
+        now = self.queue.now
+        self._settle(now)
+        # retire any flow whose bytes drained since the last event; its
+        # delivery is pinned at drained_at + propagation.
+        for f in [f for f in self._flows
+                  if f.drained_at is not None or f.remaining <= 1e-9]:
+            self._retire(f)
+        rates = self._maxmin_rates()
+        for f in self._flows:
+            f.rate = rates.get(id(f), 0.0)
+            if f._completion_event is not None:
+                self.queue.cancel(f._completion_event)
+                f._completion_event = None
+            if f.rate <= 0:
+                continue  # stalled; will be rescheduled on next rebalance
+            serialization = (
+                0.0 if f.rate == float("inf") else f.remaining / f.rate
+            )
+            # the event fires when the last byte leaves the bottleneck; the
+            # flow then stops consuming bandwidth and delivery happens one
+            # propagation delay later.
+            f._completion_event = self.queue.schedule(
+                max(now + serialization, now),
+                lambda fl=f: self._drain_check(fl),
+                f"flow:{f.label}",
+            )
+
+    def _drain_check(self, flow: Flow) -> None:
+        if flow.done or flow.failed:
+            return
+        self._settle(self.queue.now)
+        if flow in self._flows and flow.remaining > 1e-6:
+            # rates changed since this event was scheduled; re-arm
+            self._rebalance()
+            return
+        if flow in self._flows:
+            self._retire(flow)
+            self._rebalance()
+
+    def _retire(self, flow: Flow) -> None:
+        """Remove a fully drained flow and schedule its delivery."""
+        now = self.queue.now
+        if flow.drained_at is None:
+            flow.drained_at = now
+        self._flows.remove(flow)
+        if flow._completion_event is not None:
+            self.queue.cancel(flow._completion_event)
+            flow._completion_event = None
+        self.queue.schedule(
+            max(now, flow.drained_at + flow.prop_latency),
+            lambda: self._finish_flow(flow),
+            f"deliver:{flow.label}",
+        )
+
+    def _finish_flow(self, flow: Flow) -> None:
+        flow.done = True
+        flow.finish_time = self.queue.now
+        flow._completion_event = None
+        flow.on_complete(flow)
+
+    def _fail_flow(self, flow: Flow, exc: Exception) -> None:
+        if flow.done or flow.failed:
+            return
+        flow.failed = True
+        if flow._completion_event is not None:
+            self.queue.cancel(flow._completion_event)
+            flow._completion_event = None
+        if flow in self._flows:
+            self._flows.remove(flow)
+        self._rebalance()
+        if flow.on_fail is not None:
+            flow.on_fail(flow, exc)
+
+
+def build_dumbbell(
+    queue: EventQueue,
+    lan_hosts: Iterable[str],
+    wan_hosts: Iterable[str],
+    lan_bandwidth: float = gbps(1.0),
+    lan_latency: float = 0.0002,
+    wan_bandwidth: float = mbps(100.0),
+    wan_latency: float = 0.035,
+) -> Network:
+    """Convenience topology: a client LAN and a remote site joined by a WAN.
+
+    Matches the paper's setup: client + client agent + LAN depots on a 1 Gb/s
+    LAN in Knoxville; server depots behind an Abilene-class WAN path (~70 ms
+    RTT Knoxville-California, ~100 Mb/s achievable).
+    """
+    net = Network(queue)
+    lan = list(lan_hosts)
+    wan = list(wan_hosts)
+    net.add_node("lan-switch")
+    net.add_node("wan-router")
+    for h in lan:
+        net.add_link(h, "lan-switch", lan_bandwidth, lan_latency)
+    net.add_link("lan-switch", "wan-router", wan_bandwidth, wan_latency)
+    for h in wan:
+        net.add_link(h, "wan-router", wan_bandwidth, 0.002)
+    return net

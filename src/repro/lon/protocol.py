@@ -1,0 +1,190 @@
+"""The IBP wire protocol: text commands over a byte stream.
+
+Real IBP depots speak a line-oriented text protocol (version, opcode and
+arguments, then raw data); clients like LoRS compose those primitives.  This
+module implements a faithful-in-spirit codec and a :class:`DepotServer` that
+parses requests and executes them against a :class:`~repro.lon.ibp.Depot` —
+so the storage fabric can be exercised end-to-end at the protocol level, not
+just through Python method calls.
+
+Grammar (all lines ``\\n``-terminated ASCII; DATA blocks are raw bytes of
+the length announced on the command line)::
+
+    IBP/1.4 ALLOCATE <size> <duration> <hard|soft>
+    IBP/1.4 STORE <write-cap> <offset> <length>\\n<length raw bytes>
+    IBP/1.4 LOAD <read-cap> <offset> <length>
+    IBP/1.4 MANAGE <manage-cap> <PROBE|EXTEND|DECR|INCR> [arg]
+
+Responses::
+
+    OK <payload...>            (LOAD: ``OK <length>\\n<raw bytes>``)
+    ERR <code> <message>
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .ibp import (
+    Capability,
+    Depot,
+    IBPError,
+    IBPExpiredError,
+    IBPNoSuchCapError,
+    IBPPermissionError,
+    IBPRefusedError,
+)
+
+__all__ = ["DepotServer", "ProtocolError", "VERSION"]
+
+VERSION = "IBP/1.4"
+
+_ERROR_CODES = {
+    IBPRefusedError: "E_REFUSED",
+    IBPExpiredError: "E_EXPIRED",
+    IBPNoSuchCapError: "E_NOCAP",
+    IBPPermissionError: "E_PERM",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed request."""
+
+
+def _err(exc: Exception) -> bytes:
+    code = "E_GENERIC"
+    for etype, ecode in _ERROR_CODES.items():
+        if isinstance(exc, etype):
+            code = ecode
+            break
+    msg = str(exc).replace("\n", " ")
+    return f"ERR {code} {msg}\n".encode("ascii", "replace")
+
+
+class DepotServer:
+    """Executes wire-format requests against a depot."""
+
+    def __init__(self, depot: Depot) -> None:
+        self.depot = depot
+
+    # ------------------------------------------------------------------
+    def handle(self, request: bytes) -> bytes:
+        """Parse one request message and return the response bytes."""
+        try:
+            header, _, body = request.partition(b"\n")
+            line = header.decode("ascii")
+        except UnicodeDecodeError as exc:
+            return _err(ProtocolError(f"non-ascii header: {exc}"))
+        parts = line.split()
+        if len(parts) < 2 or parts[0] != VERSION:
+            return _err(ProtocolError(f"bad header {line!r}"))
+        op = parts[1].upper()
+        try:
+            if op == "ALLOCATE":
+                return self._allocate(parts[2:])
+            if op == "STORE":
+                return self._store(parts[2:], body)
+            if op == "LOAD":
+                return self._load(parts[2:])
+            if op == "MANAGE":
+                return self._manage(parts[2:])
+            return _err(ProtocolError(f"unknown op {op!r}"))
+        except IBPError as exc:
+            return _err(exc)
+        except (ProtocolError, ValueError) as exc:
+            return _err(ProtocolError(str(exc)))
+
+    # ------------------------------------------------------------------
+    def _allocate(self, args) -> bytes:
+        if len(args) != 3:
+            raise ProtocolError("ALLOCATE needs <size> <duration> <h|s>")
+        size = int(args[0])
+        duration = float(args[1])
+        kind = args[2].lower()
+        if kind not in ("hard", "soft"):
+            raise ProtocolError("allocation kind must be hard|soft")
+        r, w, m = self.depot.allocate(size, duration, soft=kind == "soft")
+        return f"OK {r} {w} {m}\n".encode("ascii")
+
+    def _store(self, args, body: bytes) -> bytes:
+        if len(args) != 3:
+            raise ProtocolError("STORE needs <cap> <offset> <length>")
+        cap = Capability.parse(args[0])
+        offset, length = int(args[1]), int(args[2])
+        if len(body) < length:
+            raise ProtocolError(
+                f"DATA block is {len(body)} bytes, announced {length}"
+            )
+        written = self.depot.store(cap, body[:length], offset)
+        return f"OK {written}\n".encode("ascii")
+
+    def _load(self, args) -> bytes:
+        if len(args) != 3:
+            raise ProtocolError("LOAD needs <cap> <offset> <length>")
+        cap = Capability.parse(args[0])
+        offset, length = int(args[1]), int(args[2])
+        data = self.depot.load(cap, offset, length)
+        return f"OK {len(data)}\n".encode("ascii") + data
+
+    def _manage(self, args) -> bytes:
+        if len(args) < 2:
+            raise ProtocolError("MANAGE needs <cap> <subcommand>")
+        cap = Capability.parse(args[0])
+        sub = args[1].upper()
+        if sub == "PROBE":
+            info = self.depot.manage_probe(cap)
+            fields = " ".join(
+                f"{k}={info[k]}" for k in (
+                    "size", "bytes_written", "expires_at", "soft", "refcount"
+                )
+            )
+            return f"OK {fields}\n".encode("ascii")
+        if sub == "EXTEND":
+            if len(args) != 3:
+                raise ProtocolError("EXTEND needs <seconds>")
+            new_expiry = self.depot.manage_extend(cap, float(args[2]))
+            return f"OK {new_expiry}\n".encode("ascii")
+        if sub == "DECR":
+            self.depot.manage_decrement(cap)
+            return b"OK\n"
+        if sub == "INCR":
+            self.depot.manage_increment(cap)
+            return b"OK\n"
+        raise ProtocolError(f"unknown MANAGE subcommand {sub!r}")
+
+
+# ----------------------------------------------------------------------
+# client-side helpers (compose requests; useful for tests and tools)
+# ----------------------------------------------------------------------
+def allocate_request(size: int, duration: float, soft: bool = False) -> bytes:
+    """Encode an ALLOCATE request."""
+    kind = "soft" if soft else "hard"
+    return f"{VERSION} ALLOCATE {size} {duration} {kind}\n".encode("ascii")
+
+
+def store_request(cap: Capability, data: bytes, offset: int = 0) -> bytes:
+    """Encode a STORE request with its DATA block."""
+    head = f"{VERSION} STORE {cap} {offset} {len(data)}\n".encode("ascii")
+    return head + data
+
+
+def load_request(cap: Capability, offset: int, length: int) -> bytes:
+    """Encode a LOAD request."""
+    return f"{VERSION} LOAD {cap} {offset} {length}\n".encode("ascii")
+
+
+def manage_request(cap: Capability, sub: str, arg: Optional[str] = None) -> bytes:
+    """Encode a MANAGE request."""
+    tail = f" {arg}" if arg is not None else ""
+    return f"{VERSION} MANAGE {cap} {sub}{tail}\n".encode("ascii")
+
+
+def parse_response(response: bytes) -> Tuple[bool, str, bytes]:
+    """Split a response into (ok, status line remainder, data block)."""
+    header, _, body = response.partition(b"\n")
+    line = header.decode("ascii", "replace")
+    if line.startswith("OK"):
+        return True, line[3:], body
+    if line.startswith("ERR"):
+        return False, line[4:], b""
+    raise ProtocolError(f"unparseable response {line!r}")

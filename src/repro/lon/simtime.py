@@ -1,0 +1,245 @@
+"""Discrete-event simulation clock and event queue.
+
+The streaming experiments in the paper (Figures 9-12) are driven by the
+relative latencies of three storage tiers: the client agent's in-memory cache
+(~1e-4 s), a depot on the client's LAN (~1e-2..1e-1 s) and depots across the
+WAN (~1 s).  Rather than sleeping for real seconds, every network and storage
+operation in this reproduction advances a shared :class:`SimClock` through a
+:class:`EventQueue`.  CPU costs that are genuinely paid on this machine
+(decompression, rendering) are measured in wall-clock time and *injected* into
+the simulation as service times, so client-observed latency composes both —
+exactly what the paper measures at the client.
+
+The design is a classic calendar queue: events are ``(time, seq, callback)``
+triples ordered by time with a monotonically increasing sequence number as the
+tiebreaker, which makes simultaneous events fire in schedule order and keeps
+runs bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["SimClock", "Event", "EventQueue", "Process", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an inconsistent state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that heap ordering is total even when
+    two events share a timestamp.  ``cancelled`` events stay in the heap but
+    are skipped when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when it reaches the head."""
+        self.cancelled = True
+
+
+class SimClock:
+    """Monotonic simulation time in seconds.
+
+    Only :class:`EventQueue` should advance the clock; everything else reads
+    ``now``.  Attempting to move time backwards raises
+    :class:`SimulationError` instead of silently corrupting causality.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def _advance_to(self, t: float) -> None:
+        if t < self._now - 1e-12:
+            raise SimulationError(
+                f"clock cannot run backwards: now={self._now!r}, target={t!r}"
+            )
+        self._now = max(self._now, t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"
+
+
+class EventQueue:
+    """Priority queue of timed callbacks driving a :class:`SimClock`.
+
+    Typical use::
+
+        q = EventQueue()
+        q.schedule(1.5, lambda: print("fires at t=1.5"))
+        q.run()
+
+    ``run_until`` executes events up to (and including) a horizon, which the
+    streaming session harness uses to interleave user-input processing with
+    background staging traffic.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._live = 0  # number of non-cancelled events in the heap
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def now(self) -> float:
+        """Shortcut for ``self.clock.now``."""
+        return self.clock.now
+
+    def schedule(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
+        if time < self.clock.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self.clock.now}, t={time}"
+            )
+        ev = Event(time=max(time, self.clock.now), seq=next(self._seq),
+                   callback=callback, label=label)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay!r}")
+        return self.schedule(self.clock.now + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already fired)."""
+        if not event.cancelled and not event.fired:
+            event.cancelled = True
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled_head()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Fire the next event.  Returns False if the queue was empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self._live -= 1
+        ev.fired = True
+        self.clock._advance_to(ev.time)
+        ev.callback()
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue drains.  Returns the number of events fired."""
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        if fired >= max_events:
+            raise SimulationError(
+                f"event budget exhausted after {fired} events; likely a "
+                "self-rescheduling loop"
+            )
+        return fired
+
+    def run_until(self, horizon: float, max_events: int = 10_000_000) -> int:
+        """Run events with time <= horizon, then advance the clock to it."""
+        fired = 0
+        while fired < max_events:
+            t = self.peek_time()
+            if t is None or t > horizon:
+                break
+            self.step()
+            fired += 1
+        if fired >= max_events:
+            raise SimulationError("event budget exhausted in run_until")
+        self.clock._advance_to(horizon)
+        return fired
+
+
+class Process:
+    """A resumable activity built on the event queue.
+
+    Thin convenience wrapper used by components that run periodic work (the
+    staging pump, lease reaper).  Subclasses or users supply ``body``, a
+    callable returning the delay until it wants to run again, or ``None`` to
+    stop.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        body: Callable[[], Optional[float]],
+        label: str = "process",
+    ) -> None:
+        self.queue = queue
+        self.body = body
+        self.label = label
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while the process has a pending tick."""
+        return self._running
+
+    def start(self, delay: float = 0.0) -> None:
+        """Arm the first tick ``delay`` seconds from now."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self.queue.schedule_in(delay, self._tick, self.label)
+
+    def stop(self) -> None:
+        """Cancel any pending tick."""
+        self._running = False
+        if self._event is not None:
+            self.queue.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        delay = self.body()
+        if delay is None or not self._running:
+            self._running = False
+            self._event = None
+        else:
+            self._event = self.queue.schedule_in(delay, self._tick, self.label)
+
+
+def exponential_backoff(base: float, attempt: int, cap: float = 60.0) -> float:
+    """Deterministic exponential backoff helper used by retry loops."""
+    if base <= 0:
+        raise ValueError("base must be positive")
+    if attempt < 0:
+        raise ValueError("attempt must be non-negative")
+    return min(cap, base * (2.0 ** attempt))

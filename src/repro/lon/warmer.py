@@ -1,0 +1,119 @@
+"""Lease maintenance: keeping exNode allocations alive.
+
+IBP allocations are time-limited, so any long-lived dataset in the network
+needs something to renew its leases (real deployments used the LoDN
+"warmer").  :class:`LeaseWarmer` walks a set of exNodes periodically and
+extends every manageable allocation that is near expiry; allocations that
+were reclaimed anyway (depot restarted, soft revocation) are reported so the
+owner can re-replicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .exnode import ExNode
+from .ibp import IBPError, IBPRefusedError
+from .lbone import LBone, LBoneError
+from .simtime import EventQueue, Process
+
+__all__ = ["LeaseWarmer", "WarmerStats"]
+
+
+@dataclass
+class WarmerStats:
+    """Counters over the warmer's lifetime."""
+
+    sweeps: int = 0
+    extended: int = 0
+    refused: int = 0
+    lost: int = 0
+
+
+class LeaseWarmer:
+    """Periodically extends the leases behind registered exNodes.
+
+    Parameters
+    ----------
+    period:
+        Sweep interval in simulated seconds.
+    horizon:
+        Allocations expiring within ``horizon`` of a sweep get extended by
+        ``extension`` seconds.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        lbone: LBone,
+        period: float = 300.0,
+        horizon: float = 900.0,
+        extension: float = 3600.0,
+    ) -> None:
+        if period <= 0 or horizon <= 0 or extension <= 0:
+            raise ValueError("period, horizon and extension must be positive")
+        self.queue = queue
+        self.lbone = lbone
+        self.period = period
+        self.horizon = horizon
+        self.extension = extension
+        self._exnodes: Dict[str, ExNode] = {}
+        self._lost: List[Tuple[str, str]] = []  # (exnode name, depot)
+        self.stats = WarmerStats()
+        self._process = Process(queue, self._sweep, "lease-warmer")
+
+    # ------------------------------------------------------------------
+    def watch(self, exnode: ExNode) -> None:
+        """Start maintaining an exNode's allocations."""
+        self._exnodes[exnode.name] = exnode
+
+    def unwatch(self, name: str) -> None:
+        """Stop maintaining an exNode (no-op when unknown)."""
+        self._exnodes.pop(name, None)
+
+    def lost_replicas(self) -> List[Tuple[str, str]]:
+        """(exNode name, depot) pairs whose allocations disappeared."""
+        return list(self._lost)
+
+    def start(self) -> None:
+        """Begin sweeping."""
+        self._process.start(self.period)
+
+    def stop(self) -> None:
+        """Stop sweeping."""
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    def _sweep(self) -> Optional[float]:
+        self.stats.sweeps += 1
+        now = self.queue.now
+        for exnode in list(self._exnodes.values()):
+            for m in list(exnode.mappings):
+                if m.manage_cap is None:
+                    continue
+                try:
+                    depot = self.lbone.lookup(m.depot)
+                except LBoneError:
+                    self._note_lost(exnode, m)
+                    continue
+                try:
+                    info = depot.manage_probe(m.manage_cap)
+                except IBPError:
+                    self._note_lost(exnode, m)
+                    continue
+                if info["expires_at"] - now <= self.horizon:
+                    try:
+                        depot.manage_extend(m.manage_cap, self.extension)
+                        self.stats.extended += 1
+                    except IBPRefusedError:
+                        self.stats.refused += 1
+                    except IBPError:
+                        self._note_lost(exnode, m)
+        return self.period
+
+    def _note_lost(self, exnode: ExNode, mapping) -> None:
+        self.stats.lost += 1
+        self._lost.append((exnode.name, mapping.depot))
+        if mapping in exnode.mappings:
+            exnode.mappings.remove(mapping)

@@ -1,0 +1,98 @@
+"""Framebuffer utilities: quantization, PPM I/O, image-quality metrics.
+
+The client console in the paper displays 8-bit RGB frames; view sets store
+8-bit pixels (that is what zlib compresses).  PPM is used for example output
+because it needs no external imaging library.  RMSE/PSNR provide the "direct
+metric of correctness" the paper lists as design criterion (iii): a light
+field synthesis can be compared against ground-truth ray casting.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "to_uint8",
+    "to_float",
+    "save_ppm",
+    "load_ppm",
+    "rmse",
+    "psnr",
+    "checkerboard",
+]
+
+
+def to_uint8(img: np.ndarray) -> np.ndarray:
+    """Quantize a float image in [0, 1] to uint8 with round-to-nearest."""
+    img = np.asarray(img)
+    if img.dtype == np.uint8:
+        return img
+    return np.clip(np.rint(img * 255.0), 0, 255).astype(np.uint8)
+
+
+def to_float(img: np.ndarray) -> np.ndarray:
+    """Promote a uint8 image to float32 in [0, 1]."""
+    img = np.asarray(img)
+    if img.dtype != np.uint8:
+        return img.astype(np.float32)
+    return img.astype(np.float32) / 255.0
+
+
+def save_ppm(path: Union[str, Path], img: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` image as binary PPM (P6)."""
+    arr = to_uint8(img)
+    if arr.ndim != 3 or arr.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {arr.shape}")
+    h, w = arr.shape[:2]
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(arr.tobytes())
+
+
+def load_ppm(path: Union[str, Path]) -> np.ndarray:
+    """Read a binary PPM (P6) into a uint8 ``(H, W, 3)`` array."""
+    raw = Path(path).read_bytes()
+    m = re.match(rb"P6\s+(\d+)\s+(\d+)\s+(\d+)\s", raw)
+    if not m:
+        raise ValueError(f"{path}: not a binary PPM")
+    w, h, maxval = (int(g) for g in m.groups())
+    if maxval != 255:
+        raise ValueError(f"{path}: only maxval 255 supported")
+    data = raw[m.end():]
+    expected = w * h * 3
+    if len(data) < expected:
+        raise ValueError(f"{path}: truncated pixel data")
+    return np.frombuffer(data[:expected], dtype=np.uint8).reshape(h, w, 3)
+
+
+def rmse(a: np.ndarray, b: np.ndarray) -> float:
+    """Root-mean-square error between two images (any matching dtype)."""
+    fa, fb = to_float(a), to_float(b)
+    if fa.shape != fb.shape:
+        raise ValueError(f"shape mismatch: {fa.shape} vs {fb.shape}")
+    return float(np.sqrt(np.mean((fa - fb) ** 2)))
+
+
+def psnr(a: np.ndarray, b: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB; +inf for identical images."""
+    err = rmse(a, b)
+    if err == 0:
+        return float("inf")
+    return float(20.0 * np.log10(peak / err))
+
+
+def checkerboard(size: int, tile: int = 8) -> np.ndarray:
+    """A float32 test pattern image ``(size, size, 3)``."""
+    if size <= 0 or tile <= 0:
+        raise ValueError("size and tile must be positive")
+    yy, xx = np.mgrid[0:size, 0:size]
+    cells = ((yy // tile) + (xx // tile)) % 2
+    img = np.empty((size, size, 3), dtype=np.float32)
+    img[..., 0] = cells
+    img[..., 1] = 1.0 - cells
+    img[..., 2] = 0.5
+    return img

@@ -1,0 +1,62 @@
+"""The LoN-Enabled Browser of Image Based Databases: streaming model,
+client/agent/server roles, DVS name service, prefetching and aggressive
+two-stage staging, plus the session harness for the paper's Cases 1-3.
+"""
+
+from .agent import AgentStats, ClientAgent, HIT_LATENCY
+from .client import Client
+from .dvs import DVSResult, DVSServer
+from .metrics import AccessRecord, AccessSource, SessionMetrics
+from .prefetch import (
+    AllNeighborsPolicy,
+    NoPrefetchPolicy,
+    PrefetchPolicy,
+    QuadrantPolicy,
+    policy_by_name,
+)
+from .server import GenerationRequest, ServerAgent
+from .session import SessionConfig, SessionRig, build_rig, run_session
+from .staging import StagingPump, StagingStats
+from .timevarying import (
+    TemporalClient,
+    TimeVaryingSource,
+    parse_temporal_vid,
+    temporal_vid,
+)
+from .trace import CursorSample, CursorTrace, standard_trace
+from .zoom import ZoomOverlay, parse_zoom_vid, zoom_vid
+
+__all__ = [
+    "AccessRecord",
+    "AccessSource",
+    "AgentStats",
+    "AllNeighborsPolicy",
+    "Client",
+    "ClientAgent",
+    "CursorSample",
+    "CursorTrace",
+    "DVSResult",
+    "DVSServer",
+    "GenerationRequest",
+    "HIT_LATENCY",
+    "NoPrefetchPolicy",
+    "PrefetchPolicy",
+    "QuadrantPolicy",
+    "ServerAgent",
+    "SessionConfig",
+    "SessionMetrics",
+    "SessionRig",
+    "StagingPump",
+    "StagingStats",
+    "TemporalClient",
+    "TimeVaryingSource",
+    "build_rig",
+    "parse_temporal_vid",
+    "policy_by_name",
+    "run_session",
+    "standard_trace",
+    "temporal_vid",
+    "ZoomOverlay",
+    "parse_zoom_vid",
+    "zoom_vid",
+]

@@ -1,0 +1,334 @@
+"""The client agent: cache, broker and prefetcher (Section 3.5).
+
+The client agent "brokers the communication from client to all other
+modules".  Its request path mirrors the paper exactly:
+
+1. **cache hit** — the view set is in the agent's payload cache: served at
+   memory speed (~1e-4 s data-access latency);
+2. **staged** — the exNode (cached or fetched from the DVS) has replicas on
+   the LAN depot placed by aggressive staging: LoRS downloads from the LAN,
+   bypassing "the relatively slower wide area network";
+3. **WAN** — otherwise the exNode's wide-area replicas serve the blocks
+   (multi-stream, replica-ranked by proximity);
+4. **server runtime** — the DVS knows no exNode: the request is forwarded to
+   the server agent for generation.
+
+Duplicate requests for an in-flight view set coalesce onto one download.
+Prefetches run the same path but never preempt: they exist to warm the cache
+before the user crosses a view-set boundary.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..lightfield.lattice import CameraLattice, ViewSetKey
+from ..lon.exnode import ExNode, Mapping
+from ..lon.lors import Deferred, LoRS
+from ..lon.network import Network
+from ..lon.simtime import EventQueue
+from .dvs import DVSServer
+from .metrics import AccessSource
+from .server import ServerAgent
+
+__all__ = ["ClientAgent", "AgentStats"]
+
+#: data-access latency of an agent cache hit (memory copy), Figure 12's floor
+HIT_LATENCY = 1e-4
+
+
+@dataclass
+class AgentStats:
+    """Counters for hit-rate and prefetch-efficiency analysis."""
+
+    requests: int = 0
+    hits: int = 0
+    lan_depot_fetches: int = 0
+    wan_fetches: int = 0
+    server_generations: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0           # demand requests served by prefetched data
+    coalesced: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class _Waiter:
+    on_payload: Callable[[bytes, AccessSource, float], None]
+    t_arrival: float
+    prefetch: bool
+
+
+@dataclass
+class _InFlight:
+    waiters: List[_Waiter] = field(default_factory=list)
+    prefetch_only: bool = True
+
+
+class ClientAgent:
+    """Broker + cache between clients and the storage network.
+
+    Parameters
+    ----------
+    cache_bytes:
+        Payload-cache budget (LRU).  ``None`` = unbounded.
+    max_streams:
+        Parallel block streams per download (LoRS multi-threading).
+    """
+
+    def __init__(
+        self,
+        node: str,
+        queue: EventQueue,
+        network: Network,
+        lors: LoRS,
+        dvs: DVSServer,
+        dvs_node: str,
+        lattice: CameraLattice,
+        server_agents: Optional[Dict[str, ServerAgent]] = None,
+        cache_bytes: Optional[int] = None,
+        max_streams: int = 8,
+    ) -> None:
+        self.node = node
+        self.queue = queue
+        self.network = network
+        self.lors = lors
+        self.dvs = dvs
+        self.dvs_node = dvs_node
+        self.lattice = lattice
+        self.server_agents = dict(server_agents or {})
+        self.cache_bytes = cache_bytes
+        self.max_streams = max_streams
+        self._payloads: "OrderedDict[str, bytes]" = OrderedDict()
+        self._payload_total = 0
+        self._exnodes: Dict[str, ExNode] = {}
+        self._staged_lan: Dict[str, ExNode] = {}
+        self._inflight: Dict[str, _InFlight] = {}
+        self._prefetched: set = set()
+        self.stats = AgentStats()
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def cached(self, vid: str) -> bool:
+        """True if the payload is in the agent cache."""
+        return vid in self._payloads
+
+    def _cache_put(self, vid: str, payload: bytes) -> None:
+        if vid in self._payloads:
+            self._payload_total -= len(self._payloads.pop(vid))
+        self._payloads[vid] = payload
+        self._payload_total += len(payload)
+        if self.cache_bytes is None:
+            return
+        while self._payload_total > self.cache_bytes and len(self._payloads) > 1:
+            old_vid, old = self._payloads.popitem(last=False)
+            self._payload_total -= len(old)
+            self._prefetched.discard(old_vid)
+            self.stats.evictions += 1
+
+    def _cache_get(self, vid: str) -> Optional[bytes]:
+        payload = self._payloads.get(vid)
+        if payload is not None:
+            self._payloads.move_to_end(vid)
+        return payload
+
+    # ------------------------------------------------------------------
+    # exNode overlay maintained by staging
+    # ------------------------------------------------------------------
+    def note_exnode(self, vid: str, exnode: ExNode) -> None:
+        """Cache an exNode (from a DVS answer or staging)."""
+        self._exnodes[vid] = exnode
+
+    def exnode_for(self, vid: str) -> Optional[ExNode]:
+        """The cached exNode, if any."""
+        return self._exnodes.get(vid)
+
+    def note_staged(self, vid: str, lan_exnode: ExNode,
+                    mappings: List[Mapping]) -> None:
+        """Record a complete LAN-depot replica produced by staging.
+
+        ``lan_exnode`` must cover the payload entirely from LAN depots; the
+        mappings are also merged into the agent's exNode overlay so ordinary
+        downloads rank the LAN replicas first.
+        """
+        self._staged_lan[vid] = lan_exnode
+        base = self._exnodes.get(vid)
+        if base is not None:
+            for m in mappings:
+                base.add_mapping(m)
+
+    def is_staged(self, vid: str) -> bool:
+        """True if a complete LAN replica exists."""
+        return vid in self._staged_lan
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        vid: str,
+        on_payload: Callable[[bytes, AccessSource, float], None],
+        prefetch: bool = False,
+    ) -> None:
+        """Ask for a view set (invoked at the request's arrival time).
+
+        ``on_payload(payload, source, comm_latency)`` fires at the sim time
+        the payload is available *at the agent*; ``comm_latency`` is the
+        Figure 12 data-access latency.
+        """
+        self.stats.requests += 1
+        if prefetch:
+            self.stats.prefetches_issued += 1
+        t0 = self.queue.now
+        payload = self._cache_get(vid)
+        if payload is not None:
+            if not prefetch:
+                self.stats.hits += 1
+                if vid in self._prefetched:
+                    self.stats.prefetch_hits += 1
+            self.queue.schedule_in(
+                HIT_LATENCY,
+                lambda: on_payload(payload, AccessSource.AGENT_CACHE,
+                                   HIT_LATENCY),
+                f"agent-hit:{vid}",
+            )
+            return
+        waiter = _Waiter(on_payload=on_payload, t_arrival=t0,
+                         prefetch=prefetch)
+        flight = self._inflight.get(vid)
+        if flight is not None:
+            self.stats.coalesced += 1
+            flight.waiters.append(waiter)
+            flight.prefetch_only &= prefetch
+            return
+        flight = _InFlight(waiters=[waiter], prefetch_only=prefetch)
+        self._inflight[vid] = flight
+        self._resolve(vid)
+
+    # -- resolution pipeline ---------------------------------------------
+    def _resolve(self, vid: str) -> None:
+        staged = self._staged_lan.get(vid)
+        if staged is not None:
+            self._download_classified(vid, staged)
+            return
+        exnode = self._exnodes.get(vid)
+        if exnode is not None:
+            self._download_classified(vid, exnode)
+            return
+        # DVS query: RPC to the DVS node + hierarchical lookup delay
+        delay = self.network.rpc_delay(self.node, self.dvs_node)
+
+        def do_query() -> None:
+            result = self.dvs.query(vid)
+
+            def after_lookup() -> None:
+                if result.exnodes:
+                    ex = result.exnodes[0].read_only_view()
+                    self._exnodes[vid] = ex
+                    self._download_classified(vid, ex)
+                elif result.server_agent is not None:
+                    self._generate(vid, result.server_agent)
+                else:
+                    self._fail(vid, RuntimeError(
+                        f"DVS has no exNode or server agent for {vid}"
+                    ))
+
+            self.queue.schedule_in(result.lookup_delay, after_lookup,
+                                   f"dvs-lookup:{vid}")
+
+        self.queue.schedule_in(delay, do_query, f"dvs-rpc:{vid}")
+
+    def _download_classified(self, vid: str, exnode: ExNode) -> None:
+        """Download via LoRS; classify the source by which depots served."""
+        deferred = self.lors.download(exnode, self.node,
+                                      max_streams=self.max_streams)
+
+        def done(dfd: Deferred) -> None:
+            if dfd.failed:
+                # drop the stale exNode and retry through the DVS once
+                self._exnodes.pop(vid, None)
+                self._staged_lan.pop(vid, None)
+                flight = self._inflight.get(vid)
+                if flight is not None and not getattr(
+                    flight, "_retried", False
+                ):
+                    flight._retried = True  # type: ignore[attr-defined]
+                    self._resolve(vid)
+                else:
+                    self._fail(vid, RuntimeError(f"download failed for {vid}"))
+                return
+            job = dfd.job  # type: ignore[attr-defined]
+            lan_names = set(self._lan_depot_names())
+            depots_used = set(job.per_depot_bytes)
+            if depots_used and depots_used <= lan_names:
+                source = AccessSource.LAN_DEPOT
+                self.stats.lan_depot_fetches += 1
+            else:
+                source = AccessSource.WAN_DEPOT
+                self.stats.wan_fetches += 1
+            self._deliver(vid, bytes(dfd.result()), source)
+
+        deferred.add_callback(done)
+
+    def _lan_depot_names(self) -> List[str]:
+        """Depots reachable at LAN latency (< 5 ms) from this agent."""
+        out = []
+        for depot in self.lors.lbone.all_depots():
+            if self.lors.lbone.latency_from(self.node, depot.name) < 0.005:
+                out.append(depot.name)
+        return out
+
+    def _generate(self, vid: str, agent_node: str) -> None:
+        server = self.server_agents.get(agent_node)
+        if server is None:
+            self._fail(vid, RuntimeError(
+                f"unknown server agent {agent_node!r} for {vid}"
+            ))
+            return
+        self.stats.server_generations += 1
+        delay = self.network.path_latency(self.node, agent_node)
+        self.queue.schedule_in(
+            delay,
+            lambda: server.request_viewset(
+                vid,
+                self.node,
+                lambda payload: self._deliver(
+                    vid, payload, AccessSource.SERVER_RUNTIME
+                ),
+            ),
+            f"gen-req:{vid}",
+        )
+
+    def _deliver(self, vid: str, payload: bytes,
+                 source: AccessSource) -> None:
+        flight = self._inflight.pop(vid, None)
+        self._cache_put(vid, payload)
+        if flight is None:
+            return
+        if flight.prefetch_only:
+            self._prefetched.add(vid)
+        now = self.queue.now
+        for w in flight.waiters:
+            if w.prefetch:
+                self._prefetched.add(vid)
+            w.on_payload(payload, source, now - w.t_arrival)
+
+    def _fail(self, vid: str, exc: Exception) -> None:
+        flight = self._inflight.pop(vid, None)
+        if flight is None:
+            return
+        for w in flight.waiters:
+            if not w.prefetch:
+                raise exc  # demand path has no fallback: surface loudly
+
+    # ------------------------------------------------------------------
+    def prefetch(self, keys: List[ViewSetKey]) -> None:
+        """Warm the cache for likely-next view sets (Figure 4 policy)."""
+        for key in keys:
+            vid = self.lattice.viewset_id(key)
+            if vid in self._payloads or vid in self._inflight:
+                continue
+            self.request(vid, lambda *a: None, prefetch=True)

@@ -1,0 +1,214 @@
+"""The client: user console, local residency and access accounting.
+
+The client "takes user input and renders the desired view, if that view is
+within the current view set that is locally stored.  Otherwise, it asks the
+client agent to request new view sets."  Every view-set boundary crossing is
+one *access* — the x-axis of Figures 8-12 — and the client measures what the
+user experiences: request brokering + communication + decompression.
+
+Decompression is performed **for real** on the received zlib payload and its
+wall-clock time is injected into the simulation (scaled by ``cpu_scale`` to
+model slower client hardware; 1.0 = this machine).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..lightfield.compression import codec_for_payload
+from ..lightfield.lattice import CameraLattice, ViewSetKey
+from ..lightfield.viewset import ViewSet
+from ..lon.network import Network
+from ..lon.simtime import EventQueue
+from .agent import ClientAgent
+from .metrics import AccessRecord, AccessSource, SessionMetrics
+from .prefetch import PrefetchPolicy, QuadrantPolicy
+from .trace import CursorSample, CursorTrace
+
+__all__ = ["Client"]
+
+#: local bookkeeping cost of switching to an already-resident view set
+RESIDENT_SWAP_LATENCY = 1e-4
+
+
+class Client:
+    """User console driven by a cursor trace.
+
+    Parameters
+    ----------
+    resident_capacity:
+        Number of decompressed view sets kept on the console.  1 models a
+        PDA ("for those low-end devices ... without any local caching on
+        the client at all" beyond the current view set); larger values model
+        workstations.
+    cpu_scale:
+        Multiplier applied to measured decompression wall time before it is
+        injected as simulated delay (models 2003-era client CPUs).
+    """
+
+    def __init__(
+        self,
+        node: str,
+        queue: EventQueue,
+        network: Network,
+        agent: ClientAgent,
+        lattice: CameraLattice,
+        metrics: SessionMetrics,
+        resident_capacity: int = 2,
+        policy: Optional[PrefetchPolicy] = None,
+        cpu_scale: float = 1.0,
+        on_cursor: Optional[Callable[[ViewSetKey], None]] = None,
+    ) -> None:
+        if resident_capacity < 1:
+            raise ValueError("resident_capacity must be >= 1")
+        if cpu_scale <= 0:
+            raise ValueError("cpu_scale must be positive")
+        self.node = node
+        self.queue = queue
+        self.network = network
+        self.agent = agent
+        self.lattice = lattice
+        self.metrics = metrics
+        self.resident_capacity = resident_capacity
+        self.policy = policy if policy is not None else QuadrantPolicy()
+        self.cpu_scale = cpu_scale
+        self.on_cursor = on_cursor
+        self._resident: "OrderedDict[ViewSetKey, ViewSet]" = OrderedDict()
+        self._current: Optional[ViewSetKey] = None
+        self._last_quadrant: Optional[Tuple[ViewSetKey, Tuple[int, int]]] = None
+        self._access_index = 0
+        # vid -> [(access index, request time)] for accesses that landed
+        # while the same view set was already being fetched
+        self._outstanding: Dict[str, List[Tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def resident_keys(self) -> List[ViewSetKey]:
+        """View sets currently decompressed on the console."""
+        return list(self._resident)
+
+    def get_resident(self, key: ViewSetKey) -> Optional[ViewSet]:
+        """ViewSetProvider protocol — lets a synthesizer render from here."""
+        return self._resident.get(key)
+
+    def _keep(self, key: ViewSetKey, vs: ViewSet) -> None:
+        self._resident[key] = vs
+        self._resident.move_to_end(key)
+        while len(self._resident) > self.resident_capacity:
+            self._resident.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # trace driving
+    # ------------------------------------------------------------------
+    def schedule_trace(self, trace: CursorTrace) -> None:
+        """Arrange every cursor sample on the event queue."""
+        for sample in trace:
+            self.queue.schedule(
+                sample.time, lambda s=sample: self.handle_cursor(s),
+                "cursor",
+            )
+
+    def handle_cursor(self, sample: CursorSample) -> None:
+        """Process one cursor position (called at its trace time)."""
+        key = self.lattice.viewset_containing(sample.theta, sample.phi)
+        if self.on_cursor is not None:
+            self.on_cursor(key)
+        if key != self._current:
+            self._current = key
+            self._access(key)
+        # Figure 4 policy: when the cursor settles in a quadrant, prefetch
+        # the neighbors on that side.  Fires on (view set, quadrant) change,
+        # not on every sample — prefetch is movement-driven, "spontaneous".
+        quadrant = self.lattice.quadrant(sample.theta, sample.phi)
+        if (key, quadrant) == self._last_quadrant:
+            return
+        self._last_quadrant = (key, quadrant)
+        targets = self.policy.targets(self.lattice, sample.theta, sample.phi)
+        wanted = [
+            k for k in targets
+            if k not in self._resident
+        ]
+        if wanted:
+            self.metrics.prefetch_issued += len(wanted)
+            delay = self.network.path_latency(self.node, self.agent.node)
+            self.queue.schedule_in(
+                delay, lambda w=wanted: self.agent.prefetch(w),
+                "client-prefetch",
+            )
+
+    # ------------------------------------------------------------------
+    def _access(self, key: ViewSetKey) -> None:
+        self._access_index += 1
+        index = self._access_index
+        vid = self.lattice.viewset_id(key)
+        t0 = self.queue.now
+        resident = self._resident.get(key)
+        if resident is not None:
+            self._resident.move_to_end(key)
+            self.metrics.record(
+                AccessRecord(
+                    index=index,
+                    viewset_id=vid,
+                    source=AccessSource.CLIENT_RESIDENT,
+                    request_time=t0,
+                    comm_latency=0.0,
+                    decompress_seconds=0.0,
+                    total_latency=RESIDENT_SWAP_LATENCY,
+                )
+            )
+            return
+        pending = self._outstanding.get(vid)
+        if pending is not None:
+            # the user re-entered a view set that is still in flight: the
+            # wait continues and is recorded against this access too
+            pending.append((index, t0))
+            return
+        self._outstanding[vid] = [(index, t0)]
+        req_delay = self.network.path_latency(self.node, self.agent.node)
+
+        def on_payload(payload: bytes, source: AccessSource,
+                       comm_latency: float) -> None:
+            # ship the payload from the agent to the client console
+            self.network.transfer(
+                self.agent.node,
+                self.node,
+                len(payload),
+                on_complete=lambda fl: finish(payload, source, comm_latency),
+                label=f"to-client:{vid}",
+            )
+
+        def finish(payload: bytes, source: AccessSource,
+                   comm_latency: float) -> None:
+            codec = codec_for_payload(payload)
+            vs, wall = codec.decompress(payload)
+            decompress = wall * self.cpu_scale
+            self.queue.schedule_in(
+                decompress,
+                lambda: complete(vs, source, comm_latency, decompress),
+                f"decompress:{vid}",
+            )
+
+        def complete(vs: ViewSet, source: AccessSource,
+                     comm_latency: float, decompress: float) -> None:
+            waiters = self._outstanding.pop(vid, [(index, t0)])
+            self._keep(key, vs)
+            now = self.queue.now
+            for w_index, w_t0 in waiters:
+                self.metrics.record(
+                    AccessRecord(
+                        index=w_index,
+                        viewset_id=vid,
+                        source=source,
+                        request_time=w_t0,
+                        comm_latency=comm_latency,
+                        decompress_seconds=decompress,
+                        total_latency=now - w_t0,
+                    )
+                )
+
+        self.queue.schedule_in(
+            req_delay,
+            lambda: self.agent.request(vid, on_payload),
+            f"client-req:{vid}",
+        )

@@ -1,0 +1,167 @@
+"""Latency accounting for streaming sessions.
+
+The paper reports two latency channels per view-set access:
+
+* **client latency** (Figures 9-11): everything the user waits for — request
+  brokerage, communication, decompression;
+* **communication latency** (Figure 12): the data-access component alone,
+  measured at the client agent, which spans four decades between a cache hit
+  (~1e-4 s) and a WAN fetch (~1 s).
+
+Each access also records *where* the bytes came from, which yields the hit
+rates and WAN-access rates quoted in Section 4.3 and the "initial phase"
+boundary (the access index after which no WAN fetches occur).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["AccessSource", "AccessRecord", "SessionMetrics"]
+
+
+class AccessSource(str, Enum):
+    """Where a requested view set was ultimately served from."""
+
+    CLIENT_RESIDENT = "client"      # already on the client console
+    AGENT_CACHE = "hit"             # client agent cache hit
+    LAN_DEPOT = "lan-depot"         # prestaged replica on the LAN depot
+    WAN_DEPOT = "wan"               # fetched across the wide area
+    SERVER_RUNTIME = "server"       # rendered on demand by the server
+
+
+@dataclass
+class AccessRecord:
+    """One view-set access as observed at the client."""
+
+    index: int                      # 1-based Nth access (the figures' x-axis)
+    viewset_id: str
+    source: AccessSource
+    request_time: float             # sim time the client asked
+    comm_latency: float             # data-access time at the client agent
+    decompress_seconds: float       # client-side zlib inflate (wall clock)
+    total_latency: float            # client-observed wait
+
+    def __post_init__(self) -> None:
+        if self.total_latency < 0 or self.comm_latency < 0:
+            raise ValueError("latencies cannot be negative")
+
+
+@dataclass
+class SessionMetrics:
+    """Accumulated records + derived statistics for one session run."""
+
+    case_name: str = ""
+    resolution: int = 0
+    accesses: List[AccessRecord] = field(default_factory=list)
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    staged_count: int = 0
+    staged_bytes: int = 0
+
+    def record(self, rec: AccessRecord) -> None:
+        """Add an access record.
+
+        Records may *complete* out of order (a slow WAN fetch can outlive
+        the next boundary crossing); the list is kept sorted by access
+        index so the figures' x-axes are monotone.
+        """
+        if any(a.index == rec.index for a in self.accesses):
+            raise ValueError(f"duplicate access index {rec.index}")
+        self.accesses.append(rec)
+        self.accesses.sort(key=lambda a: a.index)
+
+    # ------------------------------------------------------------------
+    # the figures' series
+    # ------------------------------------------------------------------
+    def latency_series(self) -> List[float]:
+        """Per-access client latency (Figures 9-11's y values)."""
+        return [a.total_latency for a in self.accesses]
+
+    def comm_latency_series(self) -> List[float]:
+        """Per-access communication latency (Figure 12's y values)."""
+        return [a.comm_latency for a in self.accesses]
+
+    def decompress_series(self) -> List[float]:
+        """Per-access decompression time (Figure 8's y values)."""
+        return [a.decompress_seconds for a in self.accesses]
+
+    # ------------------------------------------------------------------
+    # Section 4.3 statistics
+    # ------------------------------------------------------------------
+    def source_counts(self) -> Dict[AccessSource, int]:
+        """Number of accesses served from each tier."""
+        counts: Dict[AccessSource, int] = {}
+        for a in self.accesses:
+            counts[a.source] = counts.get(a.source, 0) + 1
+        return counts
+
+    def rate(self, source: AccessSource,
+             upto: Optional[int] = None) -> float:
+        """Fraction of (the first ``upto``) accesses served from a tier."""
+        pool = self.accesses if upto is None else self.accesses[:upto]
+        if not pool:
+            return 0.0
+        return sum(1 for a in pool if a.source is source) / len(pool)
+
+    def hit_rate(self, upto: Optional[int] = None) -> float:
+        """Agent-cache hit rate (client-resident counts as a hit too)."""
+        pool = self.accesses if upto is None else self.accesses[:upto]
+        if not pool:
+            return 0.0
+        hits = sum(
+            1 for a in pool
+            if a.source in (AccessSource.AGENT_CACHE,
+                            AccessSource.CLIENT_RESIDENT)
+        )
+        return hits / len(pool)
+
+    def wan_rate(self, upto: Optional[int] = None) -> float:
+        """Fraction of accesses that went to the WAN (or server)."""
+        pool = self.accesses if upto is None else self.accesses[:upto]
+        if not pool:
+            return 0.0
+        wan = sum(
+            1 for a in pool
+            if a.source in (AccessSource.WAN_DEPOT,
+                            AccessSource.SERVER_RUNTIME)
+        )
+        return wan / len(pool)
+
+    def initial_phase_length(self) -> int:
+        """Index of the last WAN/server access (0 if none).
+
+        The paper's "initial phase" ends when the system stops touching the
+        wide area; afterwards latency is LAN-class.
+        """
+        last = 0
+        for a in self.accesses:
+            if a.source in (AccessSource.WAN_DEPOT,
+                            AccessSource.SERVER_RUNTIME):
+                last = a.index
+        return last
+
+    def mean_latency(self, skip: int = 0) -> float:
+        """Average client latency over accesses after the first ``skip``."""
+        pool = self.accesses[skip:]
+        if not pool:
+            return 0.0
+        return sum(a.total_latency for a in pool) / len(pool)
+
+    def summary(self) -> Dict[str, object]:
+        """One-line dict of everything a bench table row needs."""
+        return {
+            "case": self.case_name,
+            "resolution": self.resolution,
+            "accesses": len(self.accesses),
+            "hit_rate": round(self.hit_rate(), 3),
+            "wan_rate": round(self.wan_rate(), 3),
+            "initial_phase": self.initial_phase_length(),
+            "mean_latency_s": round(self.mean_latency(), 4),
+            "steady_latency_s": round(
+                self.mean_latency(skip=self.initial_phase_length()), 4
+            ),
+            "staged": self.staged_count,
+        }

@@ -1,0 +1,209 @@
+"""Server and server agent: database generation and distribution.
+
+Two roles from Section 3.4:
+
+* **offline pre-distribution** — the generator renders the whole light field
+  database, uploads view sets to the server depots (striped, optionally
+  replicated) and registers every exNode with the DVS.  This happens before
+  a session starts and costs no simulated time.
+* **runtime generation** — when the DVS has no exNode for a view set (e.g. a
+  zoomed-in close-up region), the request is forwarded to the server agent.
+  The *scheduler chooses the latest request* (LIFO — the user has moved on,
+  so the newest request is the relevant one), the generator renders it
+  (simulated service time), a copy goes directly to the requesting client
+  agent, the view set is uploaded to the depot pool, and the DVS is updated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..lightfield.lattice import ViewSetKey, parse_viewset_id
+from ..lightfield.source import ViewSetSource
+from ..lon.exnode import ExNode
+from ..lon.ibp import Depot
+from ..lon.lors import LoRS
+from ..lon.network import Network
+from ..lon.simtime import EventQueue
+from .dvs import DVSServer
+
+__all__ = ["GenerationRequest", "ServerAgent"]
+
+
+@dataclass
+class GenerationRequest:
+    """A pending runtime render, with its reply route."""
+
+    vid: str
+    reply_node: str
+    on_payload: Callable[[bytes], None]
+    arrival: float
+
+
+class ServerAgent:
+    """Front end for one or more generation servers.
+
+    Parameters
+    ----------
+    node:
+        Network node the agent (and its generator) lives at.
+    source:
+        Where view-set payloads come from (rendered database or synthetic).
+    depots:
+        Server depot pool for uploads.
+    render_seconds_per_viewset:
+        Simulated generation service time.  The paper generates the full
+        database (288 view sets) in 2-4.5 h on 32 CPUs, i.e. ~25-56 s per
+        view set; the default models the 200² end of that band.
+    """
+
+    def __init__(
+        self,
+        node: str,
+        queue: EventQueue,
+        network: Network,
+        lors: LoRS,
+        dvs: DVSServer,
+        source: ViewSetSource,
+        depots: Sequence[Depot],
+        stripe_width: int = 3,
+        replicas: int = 1,
+        block_size: int = 1 << 20,
+        render_seconds_per_viewset: float = 25.0,
+        lease_duration: float = 24 * 3600.0,
+        payload_for_vid: Optional[Callable[[str], bytes]] = None,
+    ) -> None:
+        """``payload_for_vid`` overrides how a view-set id resolves to
+        bytes — used by zoom overlays and time-varying namespaces whose ids
+        are not plain ``vs-i-j`` strings."""
+        if render_seconds_per_viewset < 0:
+            raise ValueError("render time cannot be negative")
+        self.node = node
+        self.queue = queue
+        self.network = network
+        self.lors = lors
+        self.dvs = dvs
+        self.source = source
+        self.depots = list(depots)
+        self.stripe_width = stripe_width
+        self.replicas = replicas
+        self.block_size = int(block_size)
+        self.render_seconds = render_seconds_per_viewset
+        self.lease_duration = lease_duration
+        self._pending: List[GenerationRequest] = []
+        self._busy = False
+        self.generated = 0
+        self.predistributed = 0
+        self._payload_for_vid = payload_for_vid
+
+    def payload_for(self, vid: str) -> bytes:
+        """Resolve a view-set id to its payload bytes."""
+        if self._payload_for_vid is not None:
+            return self._payload_for_vid(vid)
+        return self.source.payload(parse_viewset_id(vid))
+
+    # ------------------------------------------------------------------
+    # offline path
+    # ------------------------------------------------------------------
+    def pre_distribute(
+        self, keys: Optional[Sequence[ViewSetKey]] = None
+    ) -> Dict[str, ExNode]:
+        """Upload view sets to the depot pool and register with the DVS.
+
+        Offline: no simulated time elapses (the paper renders and uploads
+        the database before the visualization session).  Returns the exNode
+        per view-set id.
+        """
+        lattice = self.source.lattice
+        todo = list(keys) if keys is not None else list(
+            lattice.all_viewsets()
+        )
+        out: Dict[str, ExNode] = {}
+        for key in todo:
+            vid = lattice.viewset_id(key)
+            payload = self.source.payload(key)
+            exnode = self.lors.place(
+                vid,
+                payload,
+                self.depots,
+                stripe_width=self.stripe_width,
+                replicas=self.replicas,
+                block_size=self.block_size,
+                duration=self.lease_duration,
+                metadata={"resolution": str(self.source.resolution)},
+            )
+            self.dvs.register_exnode(vid, exnode)
+            out[vid] = exnode
+            self.predistributed += 1
+        self.dvs.register_server_agent(self.node)
+        return out
+
+    # ------------------------------------------------------------------
+    # runtime path
+    # ------------------------------------------------------------------
+    def request_viewset(
+        self,
+        vid: str,
+        reply_node: str,
+        on_payload: Callable[[bytes], None],
+    ) -> None:
+        """Queue a runtime generation request (invoked at arrival time)."""
+        self._pending.append(
+            GenerationRequest(
+                vid=vid,
+                reply_node=reply_node,
+                on_payload=on_payload,
+                arrival=self.queue.now,
+            )
+        )
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        # the scheduler chooses the LATEST request (Section 3.4)
+        req = self._pending.pop()
+        self.queue.schedule_in(
+            self.render_seconds,
+            lambda: self._finish_render(req),
+            f"render:{req.vid}",
+        )
+
+    def _finish_render(self, req: GenerationRequest) -> None:
+        payload = self.payload_for(req.vid)
+        self.generated += 1
+        # 1. direct copy to the requesting client agent
+        self.network.transfer(
+            self.node,
+            req.reply_node,
+            len(payload),
+            on_complete=lambda fl: req.on_payload(payload),
+            label=f"gen:{req.vid}",
+        )
+        # 2. upload to the server depot pool + DVS update
+        up = self.lors.upload(
+            req.vid,
+            payload,
+            self.node,
+            self.depots,
+            stripe_width=self.stripe_width,
+            replicas=self.replicas,
+            block_size=self.block_size,
+            duration=self.lease_duration,
+        )
+
+        def register(dfd) -> None:
+            if not dfd.failed:
+                self.dvs.register_exnode(req.vid, dfd.result())
+
+        up.add_callback(register)
+        self._start_next()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the generator."""
+        return len(self._pending)

@@ -1,0 +1,259 @@
+"""Experiment harness: Cases 1, 2 and 3 of Section 4.2/4.3.
+
+Builds the whole system over the simulated network and runs an orchestrated
+cursor trace:
+
+* **Case 1** — the LFD is stored on depots in the client's LAN ("really
+  local area streaming ... the ideal case");
+* **Case 2** — the LFD lives on three striped depots in California and is
+  fetched across the WAN with client-agent prefetching only;
+* **Case 3** — as Case 2, plus aggressive two-stage prestaging onto a LAN
+  depot.
+
+Topology (matching the paper's testbed): client + client agent + four LAN
+depots on a 1 Gb/s department LAN; a WAN path to California (shared
+bottleneck); three server depots + DVS + server agent at the remote site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..lightfield.source import ViewSetSource
+from ..lon.ibp import Depot
+from ..lon.lbone import LBone
+from ..lon.lors import LoRS
+from ..lon.network import Network, gbps, mbps
+from ..lon.simtime import EventQueue
+from .agent import ClientAgent
+from .client import Client
+from .dvs import DVSServer
+from .metrics import SessionMetrics
+from .prefetch import PrefetchPolicy, policy_by_name
+from .server import ServerAgent
+from .staging import StagingPump
+from .trace import CursorTrace, standard_trace
+
+__all__ = ["SessionConfig", "SessionRig", "run_session", "build_rig"]
+
+
+@dataclass
+class SessionConfig:
+    """Everything that varies between experiment runs."""
+
+    case: int = 3                      # 1, 2 or 3
+    n_accesses: int = 58               # the paper's request count
+    trace_seed: int = 7
+    step_period: float = 0.6           # seconds between cursor samples
+    heading_noise: float = 0.9         # cursor unpredictability (radians/step)
+    trace: Optional[CursorTrace] = None  # override the standard trace
+
+    # network calibration (defaults model the 2003 testbed)
+    lan_bandwidth: float = gbps(1.0)
+    lan_latency: float = 0.0002
+    #: raw shared WAN path.  60 Mb/s calibrates staging so the whole
+    #: database localizes within a session: nearly instantly relative to the
+    #: cursor at 200² and over roughly half the trace at 500² — the paper's
+    #: initial-phase contrast (1 access vs 33).
+    wan_bandwidth: float = mbps(60.0)
+    wan_latency: float = 0.035
+    depot_access_bandwidth: float = mbps(100.0)
+    #: single-flow TCP ceiling = window/RTT: ~14 Mb/s across the WAN with
+    #: 2003-default windows, unconstrained on the LAN.  This asymmetry is
+    #: why multi-stream staging beats client-driven fetching.
+    tcp_window: Optional[float] = 128 * 1024
+
+    # placement
+    stripe_width: int = 3
+    replicas: int = 1
+    n_wan_depots: int = 3
+    n_lan_depots: int = 4
+    depot_capacity: int = 16 << 30
+
+    # placement block size: one block per ~1 MB keeps 200² view sets to a
+    # single WAN stream (the paper's observed ~1 s accesses) while larger
+    # view sets stripe across several
+    block_size: int = 1 << 20
+
+    # agent / client
+    agent_cache_bytes: Optional[int] = None
+    max_streams: int = 4
+    resident_capacity: int = 2
+    cpu_scale: float = 1.0
+    prefetch_policy: str = "quadrant"
+
+    # staging (case 3): concurrency x streams bounds aggressive-staging
+    # flows; the default keeps foreground misses WAN-comparable during the
+    # initial phase (the Section 4.3 contention observation) instead of
+    # starving them outright
+    staging_concurrency: int = 4
+    staging_streams: int = 3
+    staging_order: str = "proximity"
+
+    def __post_init__(self) -> None:
+        if self.case not in (1, 2, 3):
+            raise ValueError("case must be 1, 2 or 3")
+
+
+@dataclass
+class SessionRig:
+    """All live components of a wired session (for tests and examples)."""
+
+    config: SessionConfig
+    queue: EventQueue
+    network: Network
+    lbone: LBone
+    lors: LoRS
+    dvs: DVSServer
+    server_agent: ServerAgent
+    client_agent: ClientAgent
+    client: Client
+    metrics: SessionMetrics
+    staging: Optional[StagingPump]
+    lan_depots: List[Depot]
+    wan_depots: List[Depot]
+    trace: CursorTrace
+
+
+def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
+    """Wire every component for the configured case (no events run yet)."""
+    queue = EventQueue()
+    net = Network(queue, tcp_window=config.tcp_window)
+
+    # --- topology -----------------------------------------------------
+    lan_hosts = ["client", "agent"] + [
+        f"lan-depot-{i}" for i in range(config.n_lan_depots)
+    ]
+    net.add_node("lan-switch")
+    for h in lan_hosts:
+        net.add_link(h, "lan-switch", config.lan_bandwidth,
+                     config.lan_latency)
+    net.add_link("lan-switch", "wan-router", config.wan_bandwidth,
+                 config.wan_latency)
+    wan_hosts = [f"ca-depot-{i}" for i in range(config.n_wan_depots)]
+    wan_hosts += ["server", "dvs"]
+    for h in wan_hosts:
+        net.add_link(h, "wan-router", config.depot_access_bandwidth, 0.002)
+
+    # --- storage fabric -------------------------------------------------
+    lbone = LBone(net)
+    lan_depots = []
+    for i in range(config.n_lan_depots):
+        d = Depot(f"lan-depot-{i}", queue, capacity=config.depot_capacity)
+        lbone.register(d, location="knoxville")
+        lan_depots.append(d)
+    wan_depots = []
+    for i in range(config.n_wan_depots):
+        d = Depot(f"ca-depot-{i}", queue, capacity=config.depot_capacity)
+        lbone.register(d, location="california")
+        wan_depots.append(d)
+    lors = LoRS(queue, net, lbone)
+
+    # --- name service + server ------------------------------------------
+    dvs = DVSServer(node="dvs")
+    home_depots = lan_depots if config.case == 1 else wan_depots
+    server_agent = ServerAgent(
+        node="server",
+        queue=queue,
+        network=net,
+        lors=lors,
+        dvs=dvs,
+        source=source,
+        depots=home_depots,
+        stripe_width=min(config.stripe_width, len(home_depots)),
+        replicas=config.replicas,
+        block_size=config.block_size,
+    )
+    server_agent.pre_distribute()
+
+    # --- client side ------------------------------------------------------
+    metrics = SessionMetrics(
+        case_name=f"case{config.case}", resolution=source.resolution
+    )
+    client_agent = ClientAgent(
+        node="agent",
+        queue=queue,
+        network=net,
+        lors=lors,
+        dvs=dvs,
+        dvs_node="dvs",
+        lattice=source.lattice,
+        server_agents={"server": server_agent},
+        cache_bytes=config.agent_cache_bytes,
+        max_streams=config.max_streams,
+    )
+    staging: Optional[StagingPump] = None
+    if config.case == 3:
+        staging = StagingPump(
+            queue=queue,
+            lors=lors,
+            dvs=dvs,
+            agent=client_agent,
+            lan_depot=lan_depots[0],
+            lattice=source.lattice,
+            max_concurrent=config.staging_concurrency,
+            streams_per_copy=config.staging_streams,
+            order=config.staging_order,
+        )
+    policy = policy_by_name(config.prefetch_policy)
+    client = Client(
+        node="client",
+        queue=queue,
+        network=net,
+        agent=client_agent,
+        lattice=source.lattice,
+        metrics=metrics,
+        resident_capacity=config.resident_capacity,
+        policy=policy,
+        cpu_scale=config.cpu_scale,
+        on_cursor=(staging.update_cursor if staging is not None else None),
+    )
+    trace = config.trace if config.trace is not None else standard_trace(
+        source.lattice,
+        n_accesses=config.n_accesses,
+        step_period=config.step_period,
+        seed=config.trace_seed,
+        heading_noise=config.heading_noise,
+    )
+    return SessionRig(
+        config=config,
+        queue=queue,
+        network=net,
+        lbone=lbone,
+        lors=lors,
+        dvs=dvs,
+        server_agent=server_agent,
+        client_agent=client_agent,
+        client=client,
+        metrics=metrics,
+        staging=staging,
+        lan_depots=lan_depots,
+        wan_depots=wan_depots,
+        trace=trace,
+    )
+
+
+def run_session(
+    source: ViewSetSource, config: SessionConfig,
+    settle_seconds: float = 60.0,
+) -> SessionMetrics:
+    """Run one full orchestrated session and return its metrics.
+
+    ``settle_seconds`` bounds how long after the last cursor sample the
+    simulation may run to drain outstanding fetches; staging is stopped at
+    the horizon so the event queue terminates.
+    """
+    rig = build_rig(source, config)
+    if rig.staging is not None:
+        rig.staging.start()
+    rig.client.schedule_trace(rig.trace)
+    horizon = rig.trace.duration + settle_seconds
+    rig.queue.run_until(horizon)
+    if rig.staging is not None:
+        rig.staging.stop()
+        rig.metrics.staged_count = rig.staging.stats.staged
+        rig.metrics.staged_bytes = rig.staging.stats.bytes_staged
+    rig.queue.run_until(horizon + settle_seconds)
+    rig.metrics.prefetch_used = rig.client_agent.stats.prefetch_hits
+    return rig.metrics

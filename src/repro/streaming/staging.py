@@ -1,0 +1,192 @@
+"""Aggressive two-stage prefetching via a LAN depot (Figure 5, Section 4.3).
+
+"While the network is vacant, aggressive staging of view sets that may be
+soon requested are performed ... All such LoN operations take place as third
+party communication without consuming resources on either the client or the
+client agent."
+
+The pump keeps a queue over the *entire database*, ordered by view-set grid
+distance from the cursor's current view set ("ordered by distance from the
+current position of the cursor, and this order is updated dynamically as the
+cursor moves").  Up to ``max_concurrent`` third-party copies run at once;
+each copy moves a view set's blocks from the WAN depots onto the LAN depot
+as *soft* IBP allocations, then registers the LAN replica with the client
+agent so subsequent misses are served locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..lightfield.lattice import CameraLattice, ViewSetKey
+from ..lon.exnode import ExNode, Mapping
+from ..lon.ibp import Depot
+from ..lon.lors import Deferred, LoRS
+from ..lon.simtime import EventQueue, Process
+from .agent import ClientAgent
+from .dvs import DVSServer
+
+__all__ = ["StagingPump", "StagingStats"]
+
+
+@dataclass
+class StagingStats:
+    """Progress counters for staging analysis."""
+
+    staged: int = 0
+    failed: int = 0
+    bytes_staged: int = 0
+    reorders: int = 0
+
+
+class StagingPump:
+    """Background third-party copier onto the LAN depot.
+
+    Parameters
+    ----------
+    order:
+        ``"proximity"`` (the paper's dynamic cursor-distance order) or
+        ``"fifo"`` (ablation: row-major database order).
+    max_concurrent:
+        Simultaneous third-party copies ("exploiting every bit of available
+        network bandwidth" — more streams, more aggression).
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        lors: LoRS,
+        dvs: DVSServer,
+        agent: ClientAgent,
+        lan_depot: Depot,
+        lattice: CameraLattice,
+        max_concurrent: int = 2,
+        streams_per_copy: int = 2,
+        tick_period: float = 0.05,
+        order: str = "proximity",
+        lease_duration: float = 3600.0,
+    ) -> None:
+        if order not in ("proximity", "fifo"):
+            raise ValueError("order must be 'proximity' or 'fifo'")
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.queue = queue
+        self.lors = lors
+        self.dvs = dvs
+        self.agent = agent
+        self.lan_depot = lan_depot
+        self.lattice = lattice
+        self.max_concurrent = max_concurrent
+        self.streams_per_copy = max(1, streams_per_copy)
+        self.order = order
+        self.lease_duration = lease_duration
+        self._pending: List[ViewSetKey] = list(lattice.all_viewsets())
+        self._in_flight: Set[str] = set()
+        self._done: Set[str] = set()
+        self._cursor_key: Optional[ViewSetKey] = None
+        self.stats = StagingStats()
+        self._process = Process(queue, self._tick, "staging-pump")
+        self._sorted = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin staging "as soon as visualization of a dataset begins"."""
+        self._process.start(0.0)
+
+    def stop(self) -> None:
+        """Halt the pump (in-flight copies complete)."""
+        self._process.stop()
+
+    @property
+    def complete(self) -> bool:
+        """True once the whole database is localized."""
+        return not self._pending and not self._in_flight
+
+    def update_cursor(self, key: ViewSetKey) -> None:
+        """Dynamic reorder: the queue re-sorts around the new cursor."""
+        if key == self._cursor_key:
+            return
+        self._cursor_key = key
+        if self.order == "proximity":
+            self._sorted = False
+            self.stats.reorders += 1
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> Optional[float]:
+        self._launch_copies()
+        if self.complete:
+            return None  # everything localized; the pump retires
+        return 0.05
+
+    def _launch_copies(self) -> None:
+        while self._pending and len(self._in_flight) < self.max_concurrent:
+            if self.order == "proximity" and not self._sorted:
+                anchor = self._cursor_key or self._pending[0]
+                self._pending.sort(
+                    key=lambda k: self.lattice.viewset_distance(anchor, k),
+                    reverse=True,  # pop() takes from the end: nearest last
+                )
+                self._sorted = True
+            key = self._pending.pop()
+            vid = self.lattice.viewset_id(key)
+            if vid in self._done or self.agent.is_staged(vid):
+                continue
+            self._in_flight.add(vid)
+            self._stage_one(key, vid)
+
+    def _stage_one(self, key: ViewSetKey, vid: str) -> None:
+        exnode = self.agent.exnode_for(vid)
+        if exnode is not None:
+            self._copy(key, vid, exnode)
+            return
+        # third-party staging still needs the exNode: ask the DVS
+        delay = self.agent.network.rpc_delay(self.agent.node,
+                                             self.agent.dvs_node)
+
+        def do_query() -> None:
+            result = self.dvs.query(vid)
+            if not result.exnodes:
+                # not yet generated: skip — demand path will trigger the
+                # server; retry staging later
+                self._in_flight.discard(vid)
+                self._pending.insert(0, key)
+                return
+            ex = result.exnodes[0].read_only_view()
+            self.agent.note_exnode(vid, ex)
+            self.queue.schedule_in(
+                result.lookup_delay, lambda: self._copy(key, vid, ex),
+                f"stage-lookup:{vid}",
+            )
+
+        self.queue.schedule_in(delay, do_query, f"stage-dvs:{vid}")
+
+    def _copy(self, key: ViewSetKey, vid: str, exnode: ExNode) -> None:
+        deferred = self.lors.augment(
+            exnode, self.lan_depot, duration=self.lease_duration, soft=True,
+            max_streams=self.streams_per_copy,
+        )
+
+        def done(dfd: Deferred) -> None:
+            self._in_flight.discard(vid)
+            if dfd.failed:
+                self.stats.failed += 1
+                # requeue at the back; depot pressure may clear
+                self._pending.insert(0, key)
+                return
+            mappings: List[Mapping] = dfd.result()
+            lan_only = ExNode(
+                name=vid, length=exnode.length, mappings=mappings,
+                metadata=dict(exnode.metadata),
+            )
+            if not lan_only.is_fully_covered():
+                self.stats.failed += 1
+                self._pending.insert(0, key)
+                return
+            self._done.add(vid)
+            self.stats.staged += 1
+            self.stats.bytes_staged += exnode.length
+            self.agent.note_staged(vid, lan_only, mappings)
+            self._launch_copies()
+
+        deferred.add_callback(done)

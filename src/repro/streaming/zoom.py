@@ -1,0 +1,105 @@
+"""Close-up zoom via runtime view-set generation (Section 3.2).
+
+"A design issue exists, however, when a user zooms into the dataset for
+close-up views to examine physical details.  Because such movement is often
+localized ... it is feasible for the corresponding view set to be generated
+on the fly."
+
+A :class:`ZoomOverlay` is a second, higher-resolution view-set layer over
+the same two-sphere geometry, **not** pre-distributed: its ids
+(``zoom{level}:vs-i-j``) resolve through the DVS's server-agent table, so
+the first request for any zoom view set takes the runtime-generation path
+(LIFO scheduler → render → direct copy to the agent → depot upload → DVS
+update) and subsequent requests are ordinary depot fetches.  This is
+exactly the paper's pipeline for close-ups, reusing every existing module.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..lightfield.lattice import CameraLattice, ViewSetKey, parse_viewset_id
+from ..lightfield.source import ViewSetSource
+
+__all__ = ["ZoomOverlay", "zoom_vid", "parse_zoom_vid"]
+
+_ZOOM_RE = re.compile(r"^zoom(\d+):(vs-\d+-\d+)$")
+
+
+def zoom_vid(level: int, lattice: CameraLattice, key: ViewSetKey) -> str:
+    """Namespaced id of a zoom-level view set."""
+    if level < 1:
+        raise ValueError("zoom level must be >= 1")
+    return f"zoom{level}:{lattice.viewset_id(key)}"
+
+
+def parse_zoom_vid(vid: str) -> Tuple[int, ViewSetKey]:
+    """Inverse of :func:`zoom_vid`."""
+    m = _ZOOM_RE.match(vid)
+    if not m:
+        raise ValueError(f"not a zoom view-set id: {vid!r}")
+    return int(m.group(1)), parse_viewset_id(m.group(2))
+
+
+@dataclass
+class ZoomOverlay:
+    """A higher-resolution view-set layer generated on demand.
+
+    Parameters
+    ----------
+    level:
+        Zoom level (1 = first close-up layer).
+    source:
+        Where zoom payloads come from — typically a
+        :class:`~repro.lightfield.source.DatabaseSource` over a builder at
+        ``base_resolution * magnification``, or a synthetic source in
+        simulation experiments.
+    """
+
+    level: int
+    source: ViewSetSource
+
+    def __post_init__(self) -> None:
+        if self.level < 1:
+            raise ValueError("zoom level must be >= 1")
+
+    @property
+    def lattice(self) -> CameraLattice:
+        """Lattice of the zoom layer."""
+        return self.source.lattice
+
+    def vid(self, key: ViewSetKey) -> str:
+        """Namespaced id for a zoom view set."""
+        return zoom_vid(self.level, self.lattice, key)
+
+    def payload_for_vid(self, vid: str) -> bytes:
+        """Resolve a zoom id to payload bytes (ServerAgent hook)."""
+        level, key = parse_zoom_vid(vid)
+        if level != self.level:
+            raise ValueError(
+                f"overlay is level {self.level}, id is level {level}"
+            )
+        return self.source.payload(key)
+
+    def install(self, server_agent, dvs) -> None:
+        """Wire this overlay into a rig: ids route to runtime generation.
+
+        The overlay's ids are registered with the DVS's server-agent table
+        only (no exNodes yet) and the server agent learns to resolve them.
+        """
+        previous = server_agent._payload_for_vid
+
+        def resolve(vid: str) -> bytes:
+            if _ZOOM_RE.match(vid):
+                return self.payload_for_vid(vid)
+            if previous is not None:
+                return previous(vid)
+            return server_agent.source.payload(parse_viewset_id(vid))
+
+        server_agent._payload_for_vid = resolve
+        dvs.register_server_agent(
+            server_agent.node,
+            vids=[self.vid(k) for k in self.lattice.all_viewsets()],
+        )

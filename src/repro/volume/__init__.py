@@ -1,0 +1,50 @@
+"""Volume dataset substrate: scalar grids, synthetic datasets, transfer
+functions.
+
+Provides the data the light field generator ray-casts — including
+``neg_hip()``, the synthetic stand-in for the paper's 64³ negHip protein
+potential dataset.
+"""
+
+from .flow import (
+    VectorField,
+    helicity,
+    speed,
+    streamline_density,
+    tornado_flow,
+    trace_streamlines,
+    vorticity_magnitude,
+)
+from .grid import VolumeGrid
+from .io import read_raw, read_vgrid, write_raw, write_vgrid
+from .synthetic import (
+    gaussian_blobs,
+    hydrogen_orbital,
+    lattice_points,
+    neg_hip,
+    vortex,
+)
+from .transfer import TransferFunction, preset, preset_names
+
+__all__ = [
+    "VectorField",
+    "VolumeGrid",
+    "helicity",
+    "read_raw",
+    "read_vgrid",
+    "speed",
+    "streamline_density",
+    "tornado_flow",
+    "trace_streamlines",
+    "vorticity_magnitude",
+    "write_raw",
+    "write_vgrid",
+    "TransferFunction",
+    "gaussian_blobs",
+    "hydrogen_orbital",
+    "lattice_points",
+    "neg_hip",
+    "preset",
+    "preset_names",
+    "vortex",
+]

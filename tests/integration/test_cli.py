@@ -1,0 +1,98 @@
+"""CLI end-to-end tests (in-process via cli.main)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.render.image import load_ppm
+
+
+@pytest.fixture(scope="module")
+def built_db(tmp_path_factory):
+    out = tmp_path_factory.mktemp("dbs") / "lfd"
+    rc = main([
+        "build", "--volume", "neghip", "--size", "16",
+        "--lattice", "6x12x3", "--resolution", "16",
+        "--unshaded", "--out", str(out),
+    ])
+    assert rc == 0
+    return out
+
+
+class TestBuild:
+    def test_build_creates_database_dir(self, built_db):
+        assert (built_db / "index.json").exists()
+        assert list(built_db.glob("vs-*.lfvs"))
+
+    def test_build_from_raw(self, tmp_path):
+        from repro.volume import neg_hip
+        from repro.volume.io import write_raw
+
+        raw = tmp_path / "vol.raw"
+        write_raw(raw, neg_hip(size=12), dtype="uint8")
+        out = tmp_path / "lfd"
+        rc = main([
+            "build", "--raw", str(raw), "--shape", "12,12,12",
+            "--lattice", "6x12x3", "--resolution", "8",
+            "--unshaded", "--out", str(out),
+        ])
+        assert rc == 0
+        assert (out / "index.json").exists()
+
+    def test_raw_without_shape_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["build", "--raw", "x.raw", "--out", str(tmp_path / "o")])
+
+
+class TestInfo:
+    def test_info_prints_accounting(self, built_db, capsys):
+        rc = main(["info", "--db", str(built_db)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "ratio" in out
+        assert "6 x 12" in out
+
+
+class TestRender:
+    def test_render_produces_image(self, built_db, tmp_path):
+        img_path = tmp_path / "view.ppm"
+        rc = main([
+            "render", "--db", str(built_db), "--theta", "80",
+            "--phi", "30", "--size", "32", "--out", str(img_path),
+        ])
+        assert rc == 0
+        img = load_ppm(img_path)
+        assert img.shape == (32, 32, 3)
+        assert img.max() > 0  # there is content
+
+    def test_render_interpolation_modes(self, built_db, tmp_path):
+        for mode in ("uv-nearest", "nearest"):
+            img_path = tmp_path / f"{mode}.ppm"
+            rc = main([
+                "render", "--db", str(built_db), "--size", "16",
+                "--interpolation", mode, "--out", str(img_path),
+            ])
+            assert rc == 0
+
+
+class TestSession:
+    def test_session_table(self, capsys):
+        rc = main([
+            "session", "--cases", "1,2", "--resolution", "32",
+            "--accesses", "8", "--lattice", "6x12x3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "case 1" in out and "case 2" in out
+        assert "hit rate" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])

@@ -1,0 +1,186 @@
+"""Tests for the camera lattice and view-set partition logic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lightfield.lattice import CameraLattice, parse_viewset_id
+
+
+@pytest.fixture()
+def paper_lattice():
+    """Full paper scale: 72 x 144 at 2.5 degrees, l = 6."""
+    return CameraLattice(n_theta=72, n_phi=144, l=6)
+
+
+@pytest.fixture()
+def small():
+    return CameraLattice(n_theta=12, n_phi=24, l=3)
+
+
+class TestConstruction:
+    def test_paper_scale_counts(self, paper_lattice):
+        assert paper_lattice.n_cameras == 72 * 144
+        assert paper_lattice.n_viewsets == (12, 24)
+        assert np.degrees(paper_lattice.theta_step) == pytest.approx(2.5)
+        assert np.degrees(paper_lattice.phi_step) == pytest.approx(2.5)
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            CameraLattice(n_theta=10, n_phi=24, l=3)
+        with pytest.raises(ValueError):
+            CameraLattice(n_theta=12, n_phi=25, l=3)
+
+    def test_positive_dims(self):
+        with pytest.raises(ValueError):
+            CameraLattice(n_theta=0, n_phi=24, l=1)
+        with pytest.raises(ValueError):
+            CameraLattice(n_theta=12, n_phi=24, l=0)
+
+
+class TestAngles:
+    def test_no_camera_on_poles(self, small):
+        th0, _ = small.angles(0, 0)
+        thl, _ = small.angles(small.n_theta - 1, 0)
+        assert 0 < th0 < np.pi
+        assert 0 < thl < np.pi
+
+    def test_phi_wraps(self, small):
+        _, ph = small.angles(0, small.n_phi + 3)
+        _, ph3 = small.angles(0, 3)
+        assert ph == pytest.approx(ph3)
+
+    def test_theta_out_of_range(self, small):
+        with pytest.raises(IndexError):
+            small.angles(small.n_theta, 0)
+
+    def test_continuous_index_inverts_angles(self, small):
+        for i, j in [(0, 0), (5, 7), (11, 23)]:
+            th, ph = small.angles(i, j)
+            fi, fj = small.continuous_index(np.array(th), np.array(ph))
+            assert float(fi) == pytest.approx(i, abs=1e-9)
+            assert float(fj) == pytest.approx(j, abs=1e-9)
+
+    def test_nearest_camera(self, small):
+        th, ph = small.angles(4, 9)
+        assert small.nearest_camera(th + 0.01, ph - 0.01) == (4, 9)
+
+
+class TestViewSets:
+    def test_viewset_of(self, small):
+        assert small.viewset_of(0, 0) == (0, 0)
+        assert small.viewset_of(3, 0) == (1, 0)
+        assert small.viewset_of(0, 3) == (0, 1)
+
+    def test_partition_covers_lattice_exactly_once(self, small):
+        seen = {}
+        for key in small.all_viewsets():
+            for cam in small.cameras_in_viewset(key):
+                assert cam not in seen, f"camera {cam} in two view sets"
+                seen[cam] = key
+        assert len(seen) == small.n_cameras
+
+    def test_cameras_consistent_with_viewset_of(self, small):
+        for key in small.all_viewsets():
+            for i, j in small.cameras_in_viewset(key):
+                assert small.viewset_of(i, j) == key
+
+    def test_id_roundtrip(self, small):
+        for key in small.all_viewsets():
+            assert parse_viewset_id(small.viewset_id(key)) == key
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_viewset_id("viewset-1-2")
+        with pytest.raises(ValueError):
+            parse_viewset_id("vs-1")
+
+    def test_viewset_angular_window_is_15_degrees(self, paper_lattice):
+        """Paper: l=6 at 2.5 degree spacing covers a 15 degree window."""
+        window = paper_lattice.l * np.degrees(paper_lattice.theta_step)
+        assert window == pytest.approx(15.0)
+
+    def test_viewset_center_contained(self, small):
+        for key in list(small.all_viewsets())[:8]:
+            th, ph = small.viewset_center(key)
+            assert small.viewset_containing(th, ph) == key
+
+    def test_out_of_range_viewset_key(self, small):
+        with pytest.raises(IndexError):
+            small.viewset_id((99, 0))
+
+
+class TestNeighbors:
+    def test_interior_has_eight(self, small):
+        nbrs = small.neighbors((1, 1))
+        assert len(nbrs) == 8
+        assert (1, 1) not in nbrs
+
+    def test_polar_rows_have_five(self, small):
+        nbrs = small.neighbors((0, 1))
+        assert len(nbrs) == 5
+
+    def test_phi_wraparound(self, small):
+        _, cols = small.n_viewsets
+        nbrs = small.neighbors((1, 0))
+        assert (1, cols - 1) in nbrs
+
+    def test_neighbor_relation_symmetric(self, small):
+        for key in small.all_viewsets():
+            for nb in small.neighbors(key):
+                assert key in small.neighbors(nb)
+
+
+class TestQuadrants:
+    def test_four_quadrants_reachable(self, small):
+        key = (2, 3)
+        th_lo = (key[0] * small.l + 0.5) * small.theta_step
+        th_hi = (key[0] * small.l + small.l - 0.5) * small.theta_step
+        ph_lo = (key[1] * small.l + 0.2) * small.phi_step
+        ph_hi = (key[1] * small.l + small.l - 1.2) * small.phi_step
+        quads = {
+            small.quadrant(th, ph)
+            for th in (th_lo, th_hi)
+            for ph in (ph_lo, ph_hi)
+        }
+        assert quads == {(-1, -1), (-1, 1), (1, -1), (1, 1)}
+
+    def test_quadrant_neighbors_count(self, small):
+        th, ph = small.viewset_center((2, 3))
+        # interior view set: exactly 3 quadrant neighbors
+        nbrs = small.quadrant_neighbors(th - 0.02, ph - 0.02)
+        assert len(nbrs) == 3
+
+    def test_quadrant_neighbors_are_neighbors(self, small):
+        th, ph = small.viewset_center((1, 2))
+        key = small.viewset_containing(th, ph)
+        for nb in small.quadrant_neighbors(th, ph):
+            assert nb in small.neighbors(key)
+
+    @given(
+        theta=st.floats(0.05, np.pi - 0.05),
+        phi=st.floats(0.0, 2 * np.pi - 1e-6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quadrant_neighbors_subset_of_ring(self, theta, phi):
+        lat = CameraLattice(n_theta=12, n_phi=24, l=3)
+        key = lat.viewset_containing(theta, phi)
+        ring = set(lat.neighbors(key))
+        assert set(lat.quadrant_neighbors(theta, phi)) <= ring
+
+
+class TestDistance:
+    def test_zero_for_same(self, small):
+        assert small.viewset_distance((1, 1), (1, 1)) == 0.0
+
+    def test_phi_wraps(self, small):
+        _, cols = small.n_viewsets
+        assert small.viewset_distance((0, 0), (0, cols - 1)) == 1.0
+
+    def test_symmetric(self, small):
+        a, b = (0, 1), (3, 5)
+        assert small.viewset_distance(a, b) == small.viewset_distance(b, a)
+
+    def test_euclidean_on_grid(self, small):
+        assert small.viewset_distance((0, 0), (3, 4)) == pytest.approx(5.0)

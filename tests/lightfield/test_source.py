@@ -1,0 +1,100 @@
+"""Tests for view-set payload sources (real DB adapter + synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.lightfield.build import LightFieldBuilder
+from repro.lightfield.compression import codec_for_payload
+from repro.lightfield.lattice import CameraLattice
+from repro.lightfield.source import DatabaseSource, SyntheticSource
+from repro.lightfield.viewset import ViewSet
+from repro.render.raycast import RenderSettings
+from repro.volume import neg_hip, preset
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return CameraLattice(n_theta=6, n_phi=12, l=3)
+
+
+class TestSyntheticSource:
+    def test_payload_is_decodable_viewset(self, lattice):
+        src = SyntheticSource(lattice, resolution=48)
+        payload = src.payload((1, 2))
+        vs, _ = codec_for_payload(payload).decompress(payload)
+        assert vs.key == (1, 2)
+        assert vs.resolution == 48
+        assert vs.l == lattice.l
+
+    def test_deterministic(self, lattice):
+        a = SyntheticSource(lattice, resolution=32, seed=5).payload((0, 1))
+        b = SyntheticSource(lattice, resolution=32, seed=5).payload((0, 1))
+        assert a == b
+
+    def test_seed_changes_content(self, lattice):
+        a = SyntheticSource(lattice, resolution=32, seed=5).payload((0, 1))
+        b = SyntheticSource(lattice, resolution=32, seed=6).payload((0, 1))
+        assert a != b
+
+    def test_different_keys_differ(self, lattice):
+        src = SyntheticSource(lattice, resolution=32)
+        assert src.payload((0, 0)) != src.payload((1, 1))
+
+    def test_cache_returns_same_object(self, lattice):
+        src = SyntheticSource(lattice, resolution=32)
+        assert src.payload((0, 0)) is src.payload((0, 0))
+
+    def test_compression_ratio_in_paper_band(self, lattice):
+        """The calibrated generator must land near the paper's 5-7x."""
+        src = SyntheticSource(lattice, resolution=200)
+        payload = src.payload((1, 1))
+        ratio = src.raw_size() / len(payload)
+        assert 4.0 < ratio < 8.5
+
+    def test_noise_fraction_controls_ratio(self, lattice):
+        smooth = SyntheticSource(lattice, resolution=96, noise_fraction=0.0)
+        noisy = SyntheticSource(lattice, resolution=96, noise_fraction=0.5)
+        r_smooth = smooth.raw_size() / len(smooth.payload((0, 0)))
+        r_noisy = noisy.raw_size() / len(noisy.payload((0, 0)))
+        assert r_smooth > r_noisy
+
+    def test_silhouette_background_is_black(self, lattice):
+        src = SyntheticSource(lattice, resolution=64)
+        vs = src.viewset((0, 0))
+        # image corners are outside the inner-sphere silhouette
+        corners = vs.images[:, :, 0, 0, :]
+        assert np.all(corners == 0)
+
+    def test_validation(self, lattice):
+        with pytest.raises(ValueError):
+            SyntheticSource(lattice, resolution=0)
+        with pytest.raises(ValueError):
+            SyntheticSource(lattice, resolution=32, noise_fraction=1.5)
+
+    def test_raw_size_matches_wire_format(self, lattice):
+        src = SyntheticSource(lattice, resolution=32)
+        assert src.raw_size() == ViewSet.payload_size(lattice.l, 32)
+
+
+class TestDatabaseSource:
+    def test_adapts_complete_database(self):
+        lattice = CameraLattice(n_theta=6, n_phi=12, l=3)
+        builder = LightFieldBuilder(
+            neg_hip(size=16), preset("neghip"), lattice, resolution=16,
+            workers=1, settings=RenderSettings(shaded=False),
+        )
+        db = builder.build()
+        src = DatabaseSource(db)
+        payload = src.payload((0, 0))
+        assert payload == db.payload((0, 0))
+        assert src.resolution == 16
+
+    def test_rejects_incomplete_database(self):
+        lattice = CameraLattice(n_theta=6, n_phi=12, l=3)
+        builder = LightFieldBuilder(
+            neg_hip(size=16), preset("neghip"), lattice, resolution=16,
+            workers=1, settings=RenderSettings(shaded=False),
+        )
+        db = builder.build(keys=[(0, 0)])
+        with pytest.raises(ValueError):
+            DatabaseSource(db)

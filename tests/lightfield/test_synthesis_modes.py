@@ -1,0 +1,123 @@
+"""Tests for synthesizer interpolation modes and atlas caching."""
+
+import numpy as np
+import pytest
+
+from repro.lightfield.build import LightFieldBuilder
+from repro.lightfield.lattice import CameraLattice
+from repro.lightfield.synthesis import DictProvider, LightFieldSynthesizer
+from repro.render.camera import orbit_camera
+from repro.render.image import rmse
+from repro.render.raycast import RenderSettings
+from repro.volume import neg_hip, preset
+
+
+@pytest.fixture(scope="module")
+def scene():
+    vol = neg_hip(size=24)
+    lattice = CameraLattice(n_theta=12, n_phi=24, l=3)
+    builder = LightFieldBuilder(
+        vol, preset("neghip"), lattice, resolution=40, workers=1,
+        settings=RenderSettings(shaded=False),
+    )
+    db = builder.build(keys=[(2, 3), (2, 4), (1, 3), (1, 4), (3, 3),
+                             (3, 4), (2, 2), (1, 2), (3, 2)])
+    provider = DictProvider({k: db.get_viewset(k) for k in db.keys()})
+    return db, provider
+
+
+def camera_for(db, res=32, dth=0.02, dph=0.04):
+    theta, phi = db.lattice.viewset_center((2, 3))
+    return orbit_camera(
+        theta + dth, phi + dph,
+        radius=db.spheres.r_outer * 2.0, resolution=res,
+        fov_deg=db.spheres.camera_fov_deg() * 0.5,
+    )
+
+
+class TestInterpolationModes:
+    @pytest.mark.parametrize("mode", ["quadrilinear", "uv-nearest",
+                                      "nearest"])
+    def test_all_modes_render_valid_frames(self, scene, mode):
+        db, provider = scene
+        synth = LightFieldSynthesizer(
+            db.lattice, db.spheres, db.resolution, provider,
+            interpolation=mode,
+        )
+        result = synth.render(camera_for(db))
+        assert result.image.min() >= 0
+        assert result.image.max() <= 1
+        assert result.coverage > 0.9
+        assert result.image.max() > 0.01  # not a blank frame
+
+    def test_modes_agree_closely(self, scene):
+        db, provider = scene
+        frames = {}
+        for mode in ("quadrilinear", "uv-nearest", "nearest"):
+            synth = LightFieldSynthesizer(
+                db.lattice, db.spheres, db.resolution, provider,
+                interpolation=mode,
+            )
+            frames[mode] = synth.render(camera_for(db)).image
+        # a 15-degree lattice makes snapping to one camera visibly blur
+        # against the 4-camera blend; they still must broadly agree
+        assert rmse(frames["quadrilinear"], frames["uv-nearest"]) < 0.12
+        assert rmse(frames["quadrilinear"], frames["nearest"]) < 0.14
+
+    def test_unknown_mode_rejected(self, scene):
+        db, provider = scene
+        with pytest.raises(ValueError):
+            LightFieldSynthesizer(
+                db.lattice, db.spheres, db.resolution, provider,
+                interpolation="cubic",
+            )
+
+
+class TestAtlasCache:
+    def test_repeat_render_reuses_atlas(self, scene):
+        db, provider = scene
+        synth = LightFieldSynthesizer(
+            db.lattice, db.spheres, db.resolution, provider
+        )
+        cam = camera_for(db)
+        synth.render(cam)
+        atlas1 = synth._atlas
+        synth.render(cam)
+        assert synth._atlas is atlas1  # unchanged codes: cache hit
+
+    def test_new_cameras_trigger_rebuild(self, scene):
+        db, provider = scene
+        synth = LightFieldSynthesizer(
+            db.lattice, db.spheres, db.resolution, provider
+        )
+        synth.render(camera_for(db, dph=0.01))
+        atlas1 = synth._atlas
+        # move far enough to need cameras outside the first atlas
+        synth.render(camera_for(db, dph=0.30))
+        assert synth._atlas is not atlas1
+
+    def test_invalidate_cache_after_residency_change(self, scene):
+        db, provider = scene
+        resident = {k: db.get_viewset(k) for k in db.keys()
+                    if k != (2, 3)}
+        prov = DictProvider(resident)
+        synth = LightFieldSynthesizer(
+            db.lattice, db.spheres, db.resolution, prov
+        )
+        cam = camera_for(db)
+        r1 = synth.render(cam)
+        assert (2, 3) in r1.missing_keys
+        # the view set arrives; without invalidation the atlas is stale
+        prov.add(db.get_viewset((2, 3)))
+        synth.invalidate_cache()
+        r2 = synth.render(cam)
+        assert (2, 3) not in r2.missing_keys
+        assert r2.coverage >= r1.coverage
+
+    def test_resolution_mismatch_detected(self, scene):
+        db, provider = scene
+        synth = LightFieldSynthesizer(
+            db.lattice, db.spheres, db.resolution + 8, provider
+        )
+        with pytest.raises(ValueError):
+            synth.render(camera_for(db))

@@ -1,0 +1,77 @@
+"""Regression tests for subtle flow-scheduler bugs found during bring-up."""
+
+import pytest
+
+from repro.lon.network import Network, mbps
+from repro.lon.simtime import EventQueue
+
+
+class TestDrainTailRebalance:
+    def test_rebalance_during_drain_does_not_strand_flows(self):
+        """A rebalance landing exactly while a flow drains used to leave a
+        float residue (remaining ~1e-8, rate 0) that stranded the flow
+        forever.  Any interleaving of starts must complete every flow."""
+        q = EventQueue()
+        net = Network(q)
+        net.add_link("a", "b", mbps(100), 0.01)
+        done = []
+        sizes = [int(mbps(100) * 0.1)] * 3  # each drains in ~0.1 s alone
+
+        def start_next(i):
+            if i < len(sizes):
+                net.transfer("a", "b", sizes[i],
+                             lambda f: done.append(i))
+                # next start lands mid-drain of the previous flow
+                q.schedule_in(0.07, lambda: start_next(i + 1))
+
+        start_next(0)
+        q.run()
+        assert sorted(done) == [0, 1, 2]
+        assert not net.active_flows
+
+    def test_many_overlapping_starts_all_complete(self):
+        q = EventQueue()
+        net = Network(q)
+        net.add_link("a", "b", mbps(50), 0.005)
+        done = []
+        n = 25
+        for i in range(n):
+            q.schedule(
+                i * 0.013,
+                lambda i=i: net.transfer(
+                    "a", "b", 40_000 + i * 1000, lambda f: done.append(i)
+                ),
+            )
+        q.run()
+        assert len(done) == n
+        assert not net.active_flows
+
+    def test_cancel_after_fire_does_not_corrupt_queue_len(self):
+        """Cancelling an already-fired event must not decrement the live
+        count (used to drive len(queue) negative)."""
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.run()
+        q.cancel(ev)  # fired already: must be a no-op
+        assert len(q) == 0
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 1
+
+
+class TestSameTimestampOrdering:
+    def test_flow_created_at_drain_instant(self):
+        """A flow starting at the exact sim time another drains must not
+        observe a stale rate table."""
+        q = EventQueue()
+        net = Network(q)
+        net.add_link("a", "b", mbps(100), 0.0)
+        finish = {}
+        size = int(mbps(100) * 0.5)  # drains at t=0.5 alone
+        net.transfer("a", "b", size, lambda f: finish.setdefault("one", q.now))
+        q.schedule(0.5, lambda: net.transfer(
+            "a", "b", size, lambda f: finish.setdefault("two", q.now)
+        ))
+        q.run()
+        assert finish["one"] == pytest.approx(0.5, abs=1e-6)
+        # the second flow gets the full link: another 0.5 s
+        assert finish["two"] == pytest.approx(1.0, abs=1e-3)

@@ -1,0 +1,169 @@
+"""Tests for the IBP text protocol codec and depot server."""
+
+import pytest
+
+from repro.lon.ibp import Capability, CapType, Depot
+from repro.lon.protocol import (
+    DepotServer,
+    ProtocolError,
+    VERSION,
+    allocate_request,
+    load_request,
+    manage_request,
+    parse_response,
+    store_request,
+)
+from repro.lon.simtime import EventQueue
+
+
+@pytest.fixture()
+def server():
+    q = EventQueue()
+    return DepotServer(Depot("d1", q, capacity=4096)), q
+
+
+def alloc(server_obj, size=100, duration=60.0, soft=False):
+    resp = server_obj.handle(allocate_request(size, duration, soft))
+    ok, rest, _ = parse_response(resp)
+    assert ok, rest
+    caps = [Capability.parse(c) for c in rest.split()]
+    return caps  # read, write, manage
+
+
+class TestAllocate:
+    def test_allocate_returns_three_caps(self, server):
+        srv, _ = server
+        r, w, m = alloc(srv)
+        assert r.type is CapType.READ
+        assert w.type is CapType.WRITE
+        assert m.type is CapType.MANAGE
+
+    def test_over_allocation_errs(self, server):
+        srv, _ = server
+        resp = srv.handle(allocate_request(10_000, 60.0))
+        ok, rest, _ = parse_response(resp)
+        assert not ok
+        assert rest.startswith("E_REFUSED")
+
+    def test_bad_kind_rejected(self, server):
+        srv, _ = server
+        resp = srv.handle(f"{VERSION} ALLOCATE 10 60 squishy\n".encode())
+        ok, rest, _ = parse_response(resp)
+        assert not ok
+
+
+class TestStoreLoad:
+    def test_roundtrip_over_the_wire(self, server):
+        srv, _ = server
+        r, w, m = alloc(srv)
+        resp = srv.handle(store_request(w, b"hello world"))
+        ok, rest, _ = parse_response(resp)
+        assert ok and rest == "11"
+        resp = srv.handle(load_request(r, 0, 11))
+        ok, rest, data = parse_response(resp)
+        assert ok
+        assert data == b"hello world"
+
+    def test_binary_payload_safe(self, server):
+        srv, _ = server
+        r, w, _ = alloc(srv, size=300)
+        payload = bytes(range(256)) + b"\n\nOK ERR\n"
+        srv.handle(store_request(w, payload))
+        ok, rest, data = parse_response(
+            srv.handle(load_request(r, 0, len(payload)))
+        )
+        assert ok
+        assert data == payload
+
+    def test_store_with_wrong_cap_type(self, server):
+        srv, _ = server
+        r, w, _ = alloc(srv)
+        resp = srv.handle(store_request(r, b"x"))
+        ok, rest, _ = parse_response(resp)
+        assert not ok and rest.startswith("E_PERM")
+
+    def test_truncated_data_block(self, server):
+        srv, _ = server
+        _, w, _ = alloc(srv)
+        req = f"{VERSION} STORE {w} 0 100\n".encode() + b"short"
+        ok, rest, _ = parse_response(srv.handle(req))
+        assert not ok
+
+    def test_expired_cap_errs(self, server):
+        srv, q = server
+        r, w, _ = alloc(srv, duration=5.0)
+        srv.handle(store_request(w, b"x"))
+        q.schedule(10.0, lambda: None)
+        q.run()
+        ok, rest, _ = parse_response(srv.handle(load_request(r, 0, 1)))
+        assert not ok and rest.startswith("E_EXPIRED")
+
+
+class TestManage:
+    def test_probe(self, server):
+        srv, _ = server
+        r, w, m = alloc(srv, size=64)
+        srv.handle(store_request(w, b"abcd"))
+        ok, rest, _ = parse_response(
+            srv.handle(manage_request(m, "PROBE"))
+        )
+        assert ok
+        assert "size=64" in rest
+        assert "bytes_written=4" in rest
+
+    def test_extend(self, server):
+        srv, _ = server
+        _, _, m = alloc(srv, duration=10.0)
+        ok, rest, _ = parse_response(
+            srv.handle(manage_request(m, "EXTEND", "50"))
+        )
+        assert ok
+        assert float(rest) == pytest.approx(60.0)
+
+    def test_decr_reclaims(self, server):
+        srv, _ = server
+        r, _, m = alloc(srv)
+        ok, _, _ = parse_response(srv.handle(manage_request(m, "DECR")))
+        assert ok
+        ok, rest, _ = parse_response(srv.handle(load_request(r, 0, 1)))
+        assert not ok and rest.startswith("E_NOCAP")
+
+    def test_incr_then_double_decr(self, server):
+        srv, _ = server
+        r, w, m = alloc(srv)
+        srv.handle(store_request(w, b"z"))
+        parse_response(srv.handle(manage_request(m, "INCR")))
+        parse_response(srv.handle(manage_request(m, "DECR")))
+        ok, _, data = parse_response(srv.handle(load_request(r, 0, 1)))
+        assert ok and data == b"z"
+
+    def test_unknown_subcommand(self, server):
+        srv, _ = server
+        _, _, m = alloc(srv)
+        ok, rest, _ = parse_response(
+            srv.handle(manage_request(m, "EXPLODE"))
+        )
+        assert not ok
+
+
+class TestFraming:
+    def test_bad_version_rejected(self, server):
+        srv, _ = server
+        ok, rest, _ = parse_response(srv.handle(b"IBP/9.9 ALLOCATE 1 1 hard\n"))
+        assert not ok
+
+    def test_unknown_op_rejected(self, server):
+        srv, _ = server
+        ok, rest, _ = parse_response(
+            srv.handle(f"{VERSION} TELEPORT now\n".encode())
+        )
+        assert not ok
+
+    def test_non_ascii_header_rejected(self, server):
+        srv, _ = server
+        ok, _, _ = parse_response(srv.handle(b"\xff\xfe garbage\n"))
+        assert not ok
+
+    def test_unparseable_response_raises(self):
+        with pytest.raises(ProtocolError):
+            parse_response(b"WHAT 1 2 3\n")

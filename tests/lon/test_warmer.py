@@ -1,0 +1,98 @@
+"""Tests for the lease warmer."""
+
+import pytest
+
+from repro.lon.ibp import Depot
+from repro.lon.lbone import LBone
+from repro.lon.lors import LoRS
+from repro.lon.network import Network, mbps
+from repro.lon.simtime import EventQueue
+from repro.lon.warmer import LeaseWarmer
+
+
+@pytest.fixture()
+def rig():
+    q = EventQueue()
+    net = Network(q)
+    net.add_link("client", "d1", mbps(100), 0.005)
+    lbone = LBone(net)
+    depot = Depot("d1", q, capacity=1 << 24, max_duration=10_000.0)
+    lbone.register(depot)
+    lors = LoRS(q, net, lbone)
+    return q, net, lbone, depot, lors
+
+
+class TestLeaseWarmer:
+    def test_extends_near_expiry_leases(self, rig):
+        q, _, lbone, depot, lors = rig
+        ex = lors.place("f", b"x" * 1000, [depot], duration=500.0)
+        warmer = LeaseWarmer(q, lbone, period=100.0, horizon=300.0,
+                             extension=1000.0)
+        warmer.watch(ex)
+        warmer.start()
+        # without the warmer the lease dies at t=500; run far beyond
+        q.run_until(2000.0)
+        warmer.stop()
+        assert warmer.stats.extended >= 1
+        # data is still alive
+        d = lors.download(ex, "client")
+        q.run()
+        assert d.result() == b"x" * 1000
+
+    def test_without_warmer_lease_expires(self, rig):
+        q, _, _, depot, lors = rig
+        ex = lors.place("f", b"y" * 1000, [depot], duration=500.0)
+        q.run_until(2000.0)
+        d = lors.download(ex, "client")
+        q.run()
+        assert d.failed
+
+    def test_far_future_leases_left_alone(self, rig):
+        q, _, lbone, depot, lors = rig
+        ex = lors.place("f", b"z" * 100, [depot], duration=9000.0)
+        warmer = LeaseWarmer(q, lbone, period=100.0, horizon=300.0)
+        warmer.watch(ex)
+        warmer.start()
+        q.run_until(500.0)
+        warmer.stop()
+        assert warmer.stats.extended == 0
+
+    def test_lost_allocation_reported_and_pruned(self, rig):
+        q, _, lbone, depot, lors = rig
+        ex = lors.place("f", b"w" * 100, [depot], duration=100.0)
+        warmer = LeaseWarmer(q, lbone, period=300.0, horizon=50.0)
+        warmer.watch(ex)
+        warmer.start()
+        q.run_until(1000.0)  # first sweep at t=300: already expired
+        warmer.stop()
+        assert warmer.stats.lost >= 1
+        assert ("f", "d1") in warmer.lost_replicas()
+        assert ex.mappings == []
+
+    def test_refused_extension_counted(self, rig):
+        q, _, lbone, depot, lors = rig
+        depot.max_duration = 600.0
+        ex = lors.place("f", b"v" * 100, [depot], duration=500.0)
+        warmer = LeaseWarmer(q, lbone, period=100.0, horizon=400.0,
+                             extension=5000.0)  # beyond depot max
+        warmer.watch(ex)
+        warmer.start()
+        q.run_until(450.0)
+        warmer.stop()
+        assert warmer.stats.refused >= 1
+
+    def test_unwatch_stops_maintenance(self, rig):
+        q, _, lbone, depot, lors = rig
+        ex = lors.place("f", b"u" * 100, [depot], duration=500.0)
+        warmer = LeaseWarmer(q, lbone, period=100.0, horizon=300.0)
+        warmer.watch(ex)
+        warmer.unwatch("f")
+        warmer.start()
+        q.run_until(2000.0)
+        warmer.stop()
+        assert warmer.stats.extended == 0
+
+    def test_validation(self, rig):
+        q, _, lbone, _, _ = rig
+        with pytest.raises(ValueError):
+            LeaseWarmer(q, lbone, period=0.0)

@@ -1,0 +1,168 @@
+"""Tests for cursor traces and session metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lightfield.lattice import CameraLattice
+from repro.streaming.metrics import AccessRecord, AccessSource, SessionMetrics
+from repro.streaming.trace import CursorSample, CursorTrace, standard_trace
+
+
+@pytest.fixture()
+def lattice():
+    return CameraLattice(n_theta=12, n_phi=24, l=3)
+
+
+class TestCursorTrace:
+    def test_standard_trace_access_count(self, lattice):
+        trace = standard_trace(lattice, n_accesses=20, seed=1)
+        assert len(trace.viewset_accesses(lattice)) == 20
+
+    def test_paper_count_58(self, lattice):
+        trace = standard_trace(lattice, n_accesses=58, seed=7)
+        assert len(trace.viewset_accesses(lattice)) == 58
+
+    def test_deterministic(self, lattice):
+        a = standard_trace(lattice, n_accesses=10, seed=3)
+        b = standard_trace(lattice, n_accesses=10, seed=3)
+        assert [(s.time, s.theta, s.phi) for s in a] == [
+            (s.time, s.theta, s.phi) for s in b
+        ]
+
+    def test_different_seeds_differ(self, lattice):
+        a = standard_trace(lattice, n_accesses=10, seed=3)
+        b = standard_trace(lattice, n_accesses=10, seed=4)
+        assert [(s.theta, s.phi) for s in a] != [(s.theta, s.phi) for s in b]
+
+    def test_angles_stay_on_sphere_band(self, lattice):
+        trace = standard_trace(lattice, n_accesses=40, seed=5)
+        for s in trace:
+            assert 0 < s.theta < np.pi
+            assert 0 <= s.phi < 2 * np.pi
+
+    def test_timestamps_monotone(self, lattice):
+        trace = standard_trace(lattice, n_accesses=15, seed=2)
+        times = [s.time for s in trace]
+        assert times == sorted(times)
+
+    def test_scaled_halves_duration(self, lattice):
+        trace = standard_trace(lattice, n_accesses=10, seed=2)
+        fast = trace.scaled(2.0)
+        assert fast.duration == pytest.approx(trace.duration / 2)
+        # spatial path unchanged
+        assert [(s.theta, s.phi) for s in fast] == [
+            (s.theta, s.phi) for s in trace
+        ]
+
+    def test_scaled_validates(self, lattice):
+        trace = standard_trace(lattice, n_accesses=5, seed=2)
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+    def test_consecutive_accesses_are_neighbors(self, lattice):
+        """A smooth cursor can only cross into an adjacent view set."""
+        trace = standard_trace(lattice, n_accesses=30, seed=9)
+        accesses = trace.viewset_accesses(lattice)
+        for a, b in zip(accesses, accesses[1:]):
+            assert b in lattice.neighbors(a), f"jump {a} -> {b}"
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(ValueError):
+            CursorTrace(samples=[
+                CursorSample(1.0, 1.0, 1.0),
+                CursorSample(0.5, 1.0, 1.0),
+            ])
+
+    def test_invalid_n_accesses(self, lattice):
+        with pytest.raises(ValueError):
+            standard_trace(lattice, n_accesses=0)
+
+
+def rec(index, source, total=1.0, comm=0.5, dec=0.1):
+    return AccessRecord(
+        index=index,
+        viewset_id=f"vs-0-{index}",
+        source=source,
+        request_time=float(index),
+        comm_latency=comm,
+        decompress_seconds=dec,
+        total_latency=total,
+    )
+
+
+class TestSessionMetrics:
+    def test_series_ordered_by_index(self):
+        m = SessionMetrics()
+        m.record(rec(2, AccessSource.WAN_DEPOT, total=2.0))
+        m.record(rec(1, AccessSource.AGENT_CACHE, total=0.1))
+        assert m.latency_series() == [0.1, 2.0]
+
+    def test_duplicate_index_rejected(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.AGENT_CACHE))
+        with pytest.raises(ValueError):
+            m.record(rec(1, AccessSource.WAN_DEPOT))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            rec(1, AccessSource.AGENT_CACHE, total=-1.0)
+
+    def test_hit_rate_counts_client_and_agent(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.CLIENT_RESIDENT))
+        m.record(rec(2, AccessSource.AGENT_CACHE))
+        m.record(rec(3, AccessSource.WAN_DEPOT))
+        m.record(rec(4, AccessSource.LAN_DEPOT))
+        assert m.hit_rate() == pytest.approx(0.5)
+
+    def test_wan_rate_counts_server_too(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.WAN_DEPOT))
+        m.record(rec(2, AccessSource.SERVER_RUNTIME))
+        m.record(rec(3, AccessSource.AGENT_CACHE))
+        assert m.wan_rate() == pytest.approx(2 / 3)
+
+    def test_rate_upto_prefix(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.WAN_DEPOT))
+        m.record(rec(2, AccessSource.AGENT_CACHE))
+        m.record(rec(3, AccessSource.AGENT_CACHE))
+        assert m.wan_rate(upto=1) == 1.0
+        assert m.wan_rate(upto=3) == pytest.approx(1 / 3)
+
+    def test_initial_phase_is_last_wan_index(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.WAN_DEPOT))
+        m.record(rec(2, AccessSource.AGENT_CACHE))
+        m.record(rec(3, AccessSource.WAN_DEPOT))
+        m.record(rec(4, AccessSource.LAN_DEPOT))
+        assert m.initial_phase_length() == 3
+
+    def test_initial_phase_zero_when_no_wan(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.AGENT_CACHE))
+        assert m.initial_phase_length() == 0
+
+    def test_mean_latency_with_skip(self):
+        m = SessionMetrics()
+        m.record(rec(1, AccessSource.WAN_DEPOT, total=10.0))
+        m.record(rec(2, AccessSource.AGENT_CACHE, total=1.0))
+        m.record(rec(3, AccessSource.AGENT_CACHE, total=2.0))
+        assert m.mean_latency() == pytest.approx(13 / 3)
+        assert m.mean_latency(skip=1) == pytest.approx(1.5)
+
+    def test_empty_metrics(self):
+        m = SessionMetrics()
+        assert m.hit_rate() == 0.0
+        assert m.mean_latency() == 0.0
+        assert m.latency_series() == []
+
+    def test_summary_keys(self):
+        m = SessionMetrics(case_name="case2", resolution=300)
+        m.record(rec(1, AccessSource.WAN_DEPOT))
+        s = m.summary()
+        for key in ("case", "resolution", "hit_rate", "wan_rate",
+                    "initial_phase", "mean_latency_s"):
+            assert key in s

@@ -1,0 +1,92 @@
+"""Tests for the zoom-in runtime-generation overlay."""
+
+import pytest
+
+from repro.lightfield.lattice import CameraLattice
+from repro.lightfield.source import SyntheticSource
+from repro.streaming.metrics import AccessSource
+from repro.streaming.session import SessionConfig, build_rig
+from repro.streaming.zoom import ZoomOverlay, parse_zoom_vid, zoom_vid
+
+
+@pytest.fixture()
+def zoom_rig():
+    lattice = CameraLattice(n_theta=6, n_phi=12, l=3)
+    base = SyntheticSource(lattice, resolution=32)
+    rig = build_rig(base, SessionConfig(case=2))
+    # zoom layer: same lattice geometry, 2x the pixel resolution
+    zoom_src = SyntheticSource(lattice, resolution=64, seed=999)
+    overlay = ZoomOverlay(level=1, source=zoom_src)
+    overlay.install(rig.server_agent, rig.dvs)
+    return rig, overlay, zoom_src
+
+
+class TestZoomIds:
+    def test_roundtrip(self):
+        lat = CameraLattice(6, 12, 3)
+        vid = zoom_vid(2, lat, (1, 3))
+        assert vid == "zoom2:vs-1-3"
+        assert parse_zoom_vid(vid) == (2, (1, 3))
+
+    def test_invalid_level(self):
+        lat = CameraLattice(6, 12, 3)
+        with pytest.raises(ValueError):
+            zoom_vid(0, lat, (0, 0))
+        with pytest.raises(ValueError):
+            ZoomOverlay(level=0, source=SyntheticSource(lat, resolution=16))
+
+    def test_parse_rejects_plain_vids(self):
+        with pytest.raises(ValueError):
+            parse_zoom_vid("vs-1-2")
+
+
+class TestZoomFlow:
+    def test_first_zoom_request_is_runtime_generated(self, zoom_rig):
+        rig, overlay, zoom_src = zoom_rig
+        vid = overlay.vid((1, 2))
+        got = []
+        rig.client_agent.request(vid, lambda p, s, c: got.append((p, s)))
+        rig.queue.run_until(300.0)
+        payload, source = got[0]
+        assert source is AccessSource.SERVER_RUNTIME
+        assert payload == zoom_src.payload((1, 2))
+        assert rig.server_agent.generated == 1
+
+    def test_generated_zoom_viewset_lands_in_dvs(self, zoom_rig):
+        rig, overlay, _ = zoom_rig
+        vid = overlay.vid((0, 1))
+        rig.client_agent.request(vid, lambda *a: None)
+        rig.queue.run_until(300.0)
+        assert rig.dvs.replica_count(vid) == 1
+
+    def test_second_request_hits_cache_or_depot(self, zoom_rig):
+        rig, overlay, zoom_src = zoom_rig
+        vid = overlay.vid((1, 1))
+        rig.client_agent.request(vid, lambda *a: None)
+        rig.queue.run_until(300.0)
+        got = []
+        rig.client_agent.request(vid, lambda p, s, c: got.append(s))
+        rig.queue.run_until(600.0)
+        assert got[0] in (AccessSource.AGENT_CACHE, AccessSource.WAN_DEPOT)
+        assert rig.server_agent.generated == 1  # no re-render
+
+    def test_base_layer_unaffected(self, zoom_rig):
+        rig, overlay, _ = zoom_rig
+        got = []
+        rig.client_agent.request("vs-1-2", lambda p, s, c: got.append(s))
+        rig.queue.run_until(300.0)
+        assert got[0] is AccessSource.WAN_DEPOT  # pre-distributed path
+        assert rig.server_agent.generated == 0
+
+    def test_zoom_payload_is_higher_resolution(self, zoom_rig):
+        rig, overlay, zoom_src = zoom_rig
+        from repro.lightfield.compression import codec_for_payload
+
+        payload = overlay.payload_for_vid(overlay.vid((1, 2)))
+        vs, _ = codec_for_payload(payload).decompress(payload)
+        assert vs.resolution == 64
+
+    def test_wrong_level_rejected(self, zoom_rig):
+        _, overlay, _ = zoom_rig
+        with pytest.raises(ValueError):
+            overlay.payload_for_vid("zoom7:vs-0-0")

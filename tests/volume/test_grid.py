@@ -1,0 +1,176 @@
+"""Tests for VolumeGrid sampling, gradients and ray-box intersection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.volume.grid import VolumeGrid
+
+
+def linear_volume(n=8):
+    """Field f(x,y,z) = x-index, exactly linear so trilerp is exact."""
+    data = np.broadcast_to(
+        np.arange(n, dtype=np.float32)[:, None, None], (n, n, n)
+    ).copy()
+    return VolumeGrid(data=data)
+
+
+class TestConstruction:
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            VolumeGrid(data=np.zeros((4, 4)))
+
+    def test_rejects_tiny_axes(self):
+        with pytest.raises(ValueError):
+            VolumeGrid(data=np.zeros((1, 4, 4)))
+
+    def test_rejects_nan(self):
+        d = np.zeros((4, 4, 4))
+        d[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            VolumeGrid(data=d)
+
+    def test_rejects_bad_extent(self):
+        with pytest.raises(ValueError):
+            VolumeGrid(data=np.zeros((4, 4, 4)), extent=0)
+
+    def test_bounding_box_is_centered(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=2.0)
+        np.testing.assert_allclose(v.world_min, -v.world_max)
+        assert v.world_max[0] == pytest.approx(2.0)
+
+    def test_anisotropic_volume_scales_largest_axis(self):
+        v = VolumeGrid(data=np.zeros((16, 8, 8)), extent=1.0)
+        assert v.world_max[0] == pytest.approx(1.0)
+        assert v.world_max[1] < 1.0
+
+    def test_bounding_radius(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        assert v.bounding_radius == pytest.approx(np.sqrt(3.0))
+
+
+class TestSampling:
+    def test_center_of_linear_field(self):
+        v = linear_volume(8)
+        val = v.sample(np.array([[0.0, 0.0, 0.0]]))
+        assert val[0] == pytest.approx(3.5)  # midpoint of 0..7
+
+    def test_outside_is_zero(self):
+        v = linear_volume(8)
+        val = v.sample(np.array([[5.0, 0.0, 0.0], [0.0, -9.0, 0.0]]))
+        np.testing.assert_array_equal(val, [0.0, 0.0])
+
+    def test_grid_points_exact(self):
+        rng = np.random.default_rng(1)
+        data = rng.random((5, 5, 5)).astype(np.float32)
+        v = VolumeGrid(data=data)
+        # world coordinates of voxel (i, j, k)
+        idx = np.array([[0, 0, 0], [4, 4, 4], [2, 3, 1]], dtype=float)
+        pts = idx * v._voxel - v._half_size
+        vals = v.sample(pts)
+        expect = data[tuple(idx.astype(int).T)]
+        np.testing.assert_allclose(vals, expect, rtol=1e-5)
+
+    def test_linear_field_reproduced_exactly(self):
+        v = linear_volume(8)
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(-0.9, 0.9, size=(100, 3))
+        vals = v.sample(pts)
+        expect = (pts[:, 0] + v._half_size[0]) / v._voxel
+        np.testing.assert_allclose(vals, expect, rtol=1e-4, atol=1e-4)
+
+    @given(
+        x=st.floats(-2, 2), y=st.floats(-2, 2), z=st.floats(-2, 2)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sample_bounded_by_data_range(self, x, y, z):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(1.0, 2.0, size=(6, 6, 6))
+        v = VolumeGrid(data=data)
+        val = v.sample(np.array([[x, y, z]]))[0]
+        assert 0.0 <= val <= 2.0 + 1e-5
+        inside = np.all(np.abs([x, y, z]) <= v.world_max - 1e-9)
+        if inside:
+            assert val >= 1.0 - 1e-5
+
+
+class TestGradient:
+    def test_gradient_of_linear_field(self):
+        v = linear_volume(8)
+        g = v.gradient(np.array([[0.0, 0.0, 0.0]]))
+        expect_gx = 1.0 / v._voxel  # one unit of value per voxel
+        assert g[0, 0] == pytest.approx(expect_gx, rel=1e-3)
+        assert abs(g[0, 1]) < 1e-3
+        assert abs(g[0, 2]) < 1e-3
+
+
+class TestIntersection:
+    def test_ray_through_center(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        tn, tf = v.intersect_rays(
+            np.array([[-5.0, 0.0, 0.0]]), np.array([[1.0, 0.0, 0.0]])
+        )
+        assert tn[0] == pytest.approx(4.0)
+        assert tf[0] == pytest.approx(6.0)
+
+    def test_ray_missing_box(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        tn, tf = v.intersect_rays(
+            np.array([[-5.0, 3.0, 0.0]]), np.array([[1.0, 0.0, 0.0]])
+        )
+        assert tn[0] > tf[0]
+
+    def test_origin_inside_box(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        tn, tf = v.intersect_rays(
+            np.array([[0.0, 0.0, 0.0]]), np.array([[0.0, 0.0, 1.0]])
+        )
+        assert tn[0] == pytest.approx(0.0)
+        assert tf[0] == pytest.approx(1.0)
+
+    def test_axis_parallel_ray_inside_slab(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        tn, tf = v.intersect_rays(
+            np.array([[-5.0, 0.5, 0.5]]), np.array([[1.0, 0.0, 0.0]])
+        )
+        assert tn[0] < tf[0]
+
+    def test_axis_parallel_ray_outside_slab(self):
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        tn, tf = v.intersect_rays(
+            np.array([[-5.0, 2.0, 0.0]]), np.array([[1.0, 0.0, 0.0]])
+        )
+        assert tn[0] > tf[0]
+
+    @given(
+        ox=st.floats(-3, 3), oy=st.floats(-3, 3), oz=st.floats(-3, 3),
+        dx=st.floats(-1, 1), dy=st.floats(-1, 1), dz=st.floats(-1, 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reported_interval_points_lie_in_box(self, ox, oy, oz, dx, dy, dz):
+        d = np.array([dx, dy, dz])
+        if np.linalg.norm(d) < 1e-6:
+            return
+        v = VolumeGrid(data=np.zeros((8, 8, 8)), extent=1.0)
+        o = np.array([[ox, oy, oz]])
+        tn, tf = v.intersect_rays(o, d[None, :])
+        if tn[0] < tf[0] and np.isfinite(tn[0]) and np.isfinite(tf[0]):
+            mid = o[0] + (tn[0] + tf[0]) / 2 * d
+            assert np.all(mid >= v.world_min - 1e-6)
+            assert np.all(mid <= v.world_max + 1e-6)
+
+
+class TestNormalized:
+    def test_normalized_range(self):
+        rng = np.random.default_rng(4)
+        v = VolumeGrid(data=rng.uniform(-5, 7, size=(6, 6, 6)))
+        n = v.normalized()
+        lo, hi = n.value_range
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(1.0)
+
+    def test_normalized_constant_volume(self):
+        v = VolumeGrid(data=np.full((4, 4, 4), 3.0))
+        n = v.normalized()
+        assert n.value_range == (0.0, 0.0)

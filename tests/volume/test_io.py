@@ -1,0 +1,78 @@
+"""Tests for volume file I/O (raw bricks and vgrid)."""
+
+import numpy as np
+import pytest
+
+from repro.volume.grid import VolumeGrid
+from repro.volume.io import read_raw, read_vgrid, write_raw, write_vgrid
+from repro.volume.synthetic import neg_hip
+
+
+class TestRaw:
+    def test_roundtrip_uint8(self, tmp_path):
+        vol = neg_hip(size=16)
+        p = tmp_path / "vol.raw"
+        write_raw(p, vol, dtype="uint8")
+        back = read_raw(p, shape=(16, 16, 16), dtype="uint8")
+        # uint8 quantization: within one level after normalization
+        assert back.shape == (16, 16, 16)
+        np.testing.assert_allclose(back.data, vol.data, atol=1.5 / 255)
+
+    def test_roundtrip_float32_exact(self, tmp_path):
+        vol = neg_hip(size=12)
+        p = tmp_path / "vol.f32"
+        write_raw(p, vol, dtype="float32")
+        back = read_raw(p, shape=(12, 12, 12), dtype="float32",
+                        normalize=False)
+        np.testing.assert_array_equal(back.data, vol.data)
+
+    def test_x_fastest_disk_order(self, tmp_path):
+        """The volvis convention: x varies fastest in the file."""
+        data = np.zeros((2, 3, 4), dtype=np.float32)
+        data[1, 0, 0] = 7.0  # second x sample
+        vol = VolumeGrid(data=data)
+        p = tmp_path / "o.raw"
+        write_raw(p, vol, dtype="float32")
+        raw = np.frombuffer(p.read_bytes(), dtype=np.float32)
+        assert raw[1] == 7.0
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        p = tmp_path / "short.raw"
+        p.write_bytes(b"\x00" * 100)
+        with pytest.raises(ValueError):
+            read_raw(p, shape=(16, 16, 16))
+
+    def test_anisotropic_shape(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.random((4, 6, 8)).astype(np.float32)
+        vol = VolumeGrid(data=data)
+        p = tmp_path / "a.raw"
+        write_raw(p, vol, dtype="float32")
+        back = read_raw(p, shape=(4, 6, 8), dtype="float32",
+                        normalize=False)
+        np.testing.assert_array_equal(back.data, data)
+
+
+class TestVgrid:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        vol = neg_hip(size=16)
+        p = tmp_path / "vol.vgrid"
+        write_vgrid(p, vol)
+        back = read_vgrid(p)
+        np.testing.assert_array_equal(back.data, vol.data)
+        assert back.extent == vol.extent
+        assert back.name == vol.name
+
+    def test_rejects_garbage(self, tmp_path):
+        p = tmp_path / "bad.vgrid"
+        p.write_bytes(b"NOTVGRID")
+        with pytest.raises(ValueError):
+            read_vgrid(p)
+
+    def test_rejects_truncated(self, tmp_path):
+        vol = neg_hip(size=12)
+        p = tmp_path / "t.vgrid"
+        write_vgrid(p, vol)
+        p.write_bytes(p.read_bytes()[:-100])
+        with pytest.raises(ValueError):
+            read_vgrid(p)
