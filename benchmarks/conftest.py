@@ -9,6 +9,7 @@ survives pytest's output capture.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,7 @@ import pytest
 from repro.experiments import StreamingSuite
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture(scope="session")
@@ -38,5 +40,22 @@ def report(results_dir, request):
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(text)
+
+    return _write
+
+
+@pytest.fixture()
+def bench_json():
+    """Write a machine-readable ``BENCH_<name>.json`` at the repo root.
+
+    Unlike the human-oriented ``report`` tables (which live in the
+    gitignored ``benchmarks/results/``), these JSON artifacts are meant to
+    be committed so perf regressions show up in review diffs.
+    """
+
+    def _write(name: str, payload: dict) -> None:
+        path = REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
 
     return _write

@@ -419,6 +419,7 @@ def ablation_codec(
         _, dec_s = codec.decompress(result.payload)
         rows.append({
             "codec": name,
+            "level": result.level,
             "ratio": result.ratio,
             "compress_s": result.compress_seconds,
             "decompress_s": dec_s,

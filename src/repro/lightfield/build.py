@@ -72,6 +72,10 @@ class LightFieldBuilder:
         View-set codec (default: the paper's zlib).
     workers:
         Ray-caster worker processes (the paper used 32).
+    start_method:
+        Multiprocessing start method forwarded to
+        :class:`~repro.render.parallel.ParallelRenderer` (``None`` =
+        fork where available, else spawn).
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class LightFieldBuilder:
         workers: int = 1,
         settings: RenderSettings = RenderSettings(),
         light: Light = Light(),
+        start_method: Optional[str] = None,
     ) -> None:
         if resolution < 1:
             raise ValueError("resolution must be positive")
@@ -97,8 +102,16 @@ class LightFieldBuilder:
             spheres = TwoSphere(r_inner=r_in, r_outer=2.5 * r_in)
         self.spheres = spheres
         self.codec = codec if codec is not None else ZlibCodec()
+        # the parallel renderer builds the macrocell acceleration structure
+        # once here (in the parent) and shares it with render workers; all
+        # l² sample views of a view set land in one shared-memory stack
         self.renderer = ParallelRenderer(
-            volume, transfer, settings, light, workers=workers
+            volume,
+            transfer,
+            settings,
+            light,
+            workers=workers,
+            start_method=start_method,
         )
         self.stats = BuildStats()
 

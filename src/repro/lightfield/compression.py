@@ -34,12 +34,18 @@ class CodecError(ValueError):
 
 @dataclass(frozen=True)
 class CompressionResult:
-    """Outcome of compressing one view set."""
+    """Outcome of compressing one view set.
+
+    ``level`` records the zlib effort level the payload was produced with,
+    so benchmark sweeps over the speed/ratio tradeoff can label results
+    without keeping the codec object around; -1 means "not applicable".
+    """
 
     payload: bytes
     raw_size: int
     compressed_size: int
     compress_seconds: float
+    level: int = -1
 
     @property
     def ratio(self) -> float:
@@ -71,6 +77,7 @@ class ZlibCodec:
             raw_size=len(raw),
             compressed_size=len(payload),
             compress_seconds=dt,
+            level=self.level,
         )
 
     def decompress(self, payload: bytes) -> Tuple[ViewSet, float]:
@@ -122,6 +129,7 @@ class DeltaZlibCodec:
             raw_size=raw_len,
             compressed_size=len(payload),
             compress_seconds=dt,
+            level=self.level,
         )
 
     def decompress(self, payload: bytes) -> Tuple[ViewSet, float]:

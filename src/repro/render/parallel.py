@@ -8,17 +8,26 @@ Two levels of parallelism, matching how the paper's cluster generator works:
 * :meth:`ParallelRenderer.render` — a single large frame split into
   row-band tiles.
 
-Workers are initialized once with the volume/transfer-function state (fork
-start method shares the pages copy-on-write), so per-task pickling cost is
-only the camera description, per the guide's advice to keep communication in
-buffers and out of inner loops.
+Data movement is kept out of the inner loops on both sides of the fence:
+
+* **state in**: workers are initialized once with a fully-prepared
+  :class:`RaycastRenderer` — including the macrocell acceleration structure,
+  built a single time in the parent.  Under the ``fork`` start method the
+  initializer argument is inherited copy-on-write (no pickling at all);
+  under ``spawn`` (the fallback wherever fork is unavailable) the same
+  state is pickled exactly once per worker.
+* **pixels out**: workers write rendered bands/views directly into a
+  ``multiprocessing.shared_memory`` output buffer instead of pickling
+  ``(H, W, 3)`` float arrays through the result queue — the queue carries
+  only slot indices.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from typing import Iterable, List, Optional, Sequence, Tuple
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +41,8 @@ __all__ = ["ParallelRenderer", "default_worker_count"]
 
 # per-process renderer installed by the pool initializer
 _WORKER_RENDERER: Optional[RaycastRenderer] = None
+# per-process cache of attached shared-memory segments, keyed by name
+_WORKER_SHM: dict = {}
 
 
 def default_worker_count() -> int:
@@ -39,36 +50,68 @@ def default_worker_count() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _init_worker(
-    volume: VolumeGrid,
-    transfer: TransferFunction,
-    settings: RenderSettings,
-    light: Light,
-) -> None:
+def _init_worker(renderer: RaycastRenderer) -> None:
     global _WORKER_RENDERER
-    _WORKER_RENDERER = RaycastRenderer(volume, transfer, settings, light)
+    _WORKER_RENDERER = renderer
+    _WORKER_SHM.clear()
 
 
-def _render_view(camera: Camera) -> np.ndarray:
-    assert _WORKER_RENDERER is not None, "worker not initialized"
-    return _WORKER_RENDERER.render(camera)
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach (and memoize) a shared-memory segment in a worker.
+
+    Pool workers inherit the parent's resource tracker (fork and spawn
+    alike), so the attach-side registration Python < 3.13 performs is a
+    no-op on the tracker's name set and the parent's single unlink keeps
+    the ledger balanced — no unregister gymnastics needed here.
+    """
+    shm = _WORKER_SHM.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = shm
+    return shm
 
 
-def _render_band(task: Tuple[Camera, int, int]) -> Tuple[int, np.ndarray]:
-    camera, row0, row1 = task
+def _render_band(task: Tuple[Camera, int, int, str]) -> int:
+    """Render rows [row0, row1) of a frame into the shared output buffer."""
+    camera, row0, row1, shm_name = task
     assert _WORKER_RENDERER is not None, "worker not initialized"
     origins, dirs = camera.rays()
     w = camera.width
     sl = slice(row0 * w, row1 * w)
     rgb = _WORKER_RENDERER.render_rays(origins[sl], dirs[sl])
-    return row0, rgb.reshape(row1 - row0, w, 3)
+    shm = _attach_shm(shm_name)
+    out = np.ndarray(
+        (camera.height, camera.width, 3), dtype=np.float32, buffer=shm.buf
+    )
+    out[row0:row1] = rgb.reshape(row1 - row0, w, 3)
+    return row0
+
+
+def _render_view(task: Tuple[int, Camera, str, Tuple[int, ...]]) -> int:
+    """Render one sample view into slot i of the shared output buffer."""
+    i, camera, shm_name, shape = task
+    assert _WORKER_RENDERER is not None, "worker not initialized"
+    frame = _WORKER_RENDERER.render(camera)
+    shm = _attach_shm(shm_name)
+    out = np.ndarray(shape, dtype=np.float32, buffer=shm.buf)
+    out[i] = frame
+    return i
+
+
+def _render_view_pickled(camera: Camera) -> np.ndarray:
+    """Fallback task for mixed-resolution batches: returns the frame."""
+    assert _WORKER_RENDERER is not None, "worker not initialized"
+    return _WORKER_RENDERER.render(camera)
 
 
 class ParallelRenderer:
     """Tile/view-parallel front end over :class:`RaycastRenderer`.
 
-    With ``workers=1`` (or in environments where fork is unavailable) all
-    work runs inline, which keeps unit tests fast and deterministic.
+    With ``workers=1`` all work runs inline, which keeps unit tests fast
+    and deterministic.  ``start_method`` selects the multiprocessing start
+    method: ``None`` prefers ``fork`` (state shared copy-on-write) and
+    falls back to ``spawn`` (state pickled once per worker) on platforms
+    without it; pass ``"spawn"`` explicitly to force the pickling path.
     """
 
     def __init__(
@@ -78,6 +121,7 @@ class ParallelRenderer:
         settings: RenderSettings = RenderSettings(),
         light: Light = Light(),
         workers: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.volume = volume
         self.transfer = transfer
@@ -86,40 +130,94 @@ class ParallelRenderer:
         self.workers = workers if workers is not None else default_worker_count()
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        available = mp.get_all_start_methods()
+        if start_method is not None and start_method not in available:
+            raise ValueError(
+                f"start method {start_method!r} unavailable; "
+                f"choose from {available}"
+            )
+        self.start_method = start_method or (
+            "fork" if "fork" in available else "spawn"
+        )
         self._inline = RaycastRenderer(volume, transfer, settings, light)
+        # build the acceleration structure once, in the parent, before any
+        # worker exists: fork inherits it copy-on-write, spawn pickles it
+        # with the renderer — either way workers never rebuild it
+        self._inline.prepare()
 
     # ------------------------------------------------------------------
     def render(self, camera: Camera, band_rows: int = 32) -> np.ndarray:
-        """Render one frame, tiled into row bands across workers."""
+        """Render one frame, tiled into row bands across workers.
+
+        Workers deposit bands straight into a shared-memory framebuffer;
+        the task queue only ever carries camera descriptions and row
+        indices.
+        """
         if self.workers == 1 or camera.height <= band_rows:
             return self._inline.render(camera)
-        tasks = []
-        for row0 in range(0, camera.height, band_rows):
-            row1 = min(row0 + band_rows, camera.height)
-            tasks.append((camera, row0, row1))
-        out = np.empty((camera.height, camera.width, 3), dtype=np.float32)
-        with self._pool() as pool:
-            for row0, band in pool.imap_unordered(_render_band, tasks):
-                out[row0:row0 + band.shape[0]] = band
+        shape = (camera.height, camera.width, 3)
+        shm = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * 4
+        )
+        try:
+            tasks = []
+            for row0 in range(0, camera.height, band_rows):
+                row1 = min(row0 + band_rows, camera.height)
+                tasks.append((camera, row0, row1, shm.name))
+            with self._pool() as pool:
+                for _ in pool.imap_unordered(_render_band, tasks):
+                    pass
+            out = np.ndarray(shape, dtype=np.float32, buffer=shm.buf).copy()
+        finally:
+            shm.close()
+            shm.unlink()
         return out
 
     def render_many(
         self, cameras: Sequence[Camera], chunksize: int = 1
     ) -> List[np.ndarray]:
-        """Render many sample views, one view per task, preserving order."""
+        """Render many sample views, one view per task, preserving order.
+
+        When all cameras share one resolution (the light-field-build case)
+        views land in a shared-memory stack, one slot per task; otherwise
+        the legacy pickled-result path is used.
+        """
         cameras = list(cameras)
         if not cameras:
             return []
         if self.workers == 1 or len(cameras) == 1:
             return [self._inline.render(c) for c in cameras]
-        with self._pool() as pool:
-            return list(pool.map(_render_view, cameras, chunksize=chunksize))
+        dims = {(c.height, c.width) for c in cameras}
+        if len(dims) != 1:
+            with self._pool() as pool:
+                return list(
+                    pool.map(_render_view_pickled, cameras, chunksize=chunksize)
+                )
+        (h, w), = dims
+        shape = (len(cameras), h, w, 3)
+        shm = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * 4
+        )
+        try:
+            tasks = [
+                (i, cam, shm.name, shape) for i, cam in enumerate(cameras)
+            ]
+            with self._pool() as pool:
+                for _ in pool.imap_unordered(
+                    _render_view, tasks, chunksize=chunksize
+                ):
+                    pass
+            stack = np.ndarray(shape, dtype=np.float32, buffer=shm.buf)
+            frames = [stack[i].copy() for i in range(len(cameras))]
+        finally:
+            shm.close()
+            shm.unlink()
+        return frames
 
     def _pool(self) -> mp.pool.Pool:
-        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
-                             else None)
+        ctx = mp.get_context(self.start_method)
         return ctx.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(self.volume, self.transfer, self.settings, self.light),
+            initargs=(self._inline,),
         )

@@ -6,6 +6,7 @@ Provides the data the light field generator ray-casts — including
 potential dataset.
 """
 
+from .accel import ActiveCells, MacrocellGrid
 from .flow import (
     VectorField,
     helicity,
@@ -27,6 +28,8 @@ from .synthetic import (
 from .transfer import TransferFunction, preset, preset_names
 
 __all__ = [
+    "ActiveCells",
+    "MacrocellGrid",
     "VectorField",
     "VolumeGrid",
     "helicity",

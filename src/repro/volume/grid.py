@@ -100,15 +100,21 @@ class VolumeGrid:
         """
         idx = self.world_to_index(points)
         nx, ny, nz = self.data.shape
+        # tolerate float rounding at the faces: a point computed as lying on
+        # the bounding box (e.g. a ray's exact exit t) may land 1 ulp past
+        # it, and must sample the boundary plane, not the vacuum sentinel
+        eps = 1e-6
         inside = (
-            (idx[:, 0] >= 0) & (idx[:, 0] <= nx - 1)
-            & (idx[:, 1] >= 0) & (idx[:, 1] <= ny - 1)
-            & (idx[:, 2] >= 0) & (idx[:, 2] <= nz - 1)
+            (idx[:, 0] >= -eps) & (idx[:, 0] <= nx - 1 + eps)
+            & (idx[:, 1] >= -eps) & (idx[:, 1] <= ny - 1 + eps)
+            & (idx[:, 2] >= -eps) & (idx[:, 2] <= nz - 1 + eps)
         )
         out = np.zeros(len(idx), dtype=np.float32)
         if not inside.any():
             return out
-        p = idx[inside]
+        p = np.clip(
+            idx[inside], 0.0, np.array([nx - 1, ny - 1, nz - 1], dtype=np.float64)
+        )
         i0 = np.floor(p).astype(np.intp)
         i0[:, 0] = np.clip(i0[:, 0], 0, nx - 2)
         i0[:, 1] = np.clip(i0[:, 1], 0, ny - 2)

@@ -75,15 +75,45 @@ class TransferFunction:
             np.float32
         )
 
+    def max_opacity_in(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Maximum extinction over scalar ranges ``[lo, hi]`` (vectorized).
+
+        For a piecewise-linear opacity map the maximum over an interval is
+        attained either at an endpoint or at a control point inside it, so
+        the bound is *exact*, not merely conservative.  ``lo``/``hi`` are
+        broadcast together; values are clipped into [0, 1] exactly like
+        :meth:`__call__` clips its inputs.  This is the query the macrocell
+        empty-space classifier (:class:`repro.volume.accel.MacrocellGrid`)
+        uses to mark cells transparent under the current classification.
+        """
+        lo = np.clip(np.asarray(lo, dtype=np.float64), 0.0, 1.0)
+        hi = np.clip(np.asarray(hi, dtype=np.float64), 0.0, 1.0)
+        lo, hi = np.broadcast_arrays(lo, hi)
+        if (lo > hi).any():
+            raise ValueError("range lower bounds exceed upper bounds")
+        xp = self.points[:, 0]
+        fp = self.points[:, 4]
+        out = np.maximum(np.interp(lo, xp, fp), np.interp(hi, xp, fp))
+        # control points are few; loop over them, vectorized over queries
+        for vk, ak in zip(xp, fp):
+            if ak > 0.0:
+                inside = (lo <= vk) & (vk <= hi)
+                out = np.where(inside, np.maximum(out, ak), out)
+        return out.astype(np.float32)
+
 
 _PRESETS = {
     # emphasize both lobes of a potential field: blue negative-ish lows,
-    # red highs, translucent middle — the classic negHip look
+    # red highs, transparent far field — the classic negHip look.  The
+    # synthetic negHip's zero-potential background normalizes to ~0.23-0.38,
+    # so the fully-transparent band brackets that range: most of the volume
+    # is genuine empty space, as in the paper's renders (and as the
+    # macrocell skipping acceleration expects).
     "neghip": [
-        (0.00, 0.05, 0.05, 0.60, 0.0),
-        (0.20, 0.10, 0.30, 0.90, 4.0),
-        (0.45, 0.05, 0.05, 0.05, 0.0),
-        (0.55, 0.05, 0.05, 0.05, 0.0),
+        (0.00, 0.05, 0.05, 0.60, 6.0),
+        (0.10, 0.10, 0.30, 0.90, 3.0),
+        (0.20, 0.05, 0.05, 0.05, 0.0),
+        (0.50, 0.05, 0.05, 0.05, 0.0),
         (0.75, 0.95, 0.55, 0.10, 5.0),
         (1.00, 1.00, 0.90, 0.30, 9.0),
     ],

@@ -182,3 +182,22 @@ class TestCodecs:
         back, _ = DeltaZlibCodec().decompress(result.payload)
         assert back.key == vs.key
         np.testing.assert_array_equal(back.images, vs.images)
+
+    @pytest.mark.parametrize("codec_cls", [ZlibCodec, DeltaZlibCodec])
+    def test_result_records_level(self, codec_cls):
+        vs = coherent_viewset()
+        for level in (1, 6, 9):
+            result = codec_cls(level=level).compress(vs)
+            assert result.level == level
+
+    def test_higher_level_never_larger_on_coherent_views(self):
+        """The speed/ratio sweep the generation benchmark relies on: level
+        9 must compress coherent view sets at least as well as level 1."""
+        vs = coherent_viewset()
+        fast = ZlibCodec(level=1).compress(vs)
+        best = ZlibCodec(level=9).compress(vs)
+        assert best.compressed_size <= fast.compressed_size
+        # both remain lossless regardless of level
+        for result in (fast, best):
+            back, _ = ZlibCodec().decompress(result.payload)
+            np.testing.assert_array_equal(back.images, vs.images)

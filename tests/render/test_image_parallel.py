@@ -129,3 +129,49 @@ class TestParallelRenderer:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+    def test_invalid_start_method_rejected(self, scene):
+        vol, tf, _ = scene
+        with pytest.raises(ValueError, match="start method"):
+            ParallelRenderer(vol, tf, workers=2, start_method="threads")
+
+    def test_spawn_fallback_matches_serial(self, scene):
+        """Forcing spawn exercises the explicit-pickling path (the fallback
+        on platforms without fork); output must equal the serial render."""
+        vol, tf, cam = scene
+        serial = RaycastRenderer(vol, tf).render(cam)
+        pr = ParallelRenderer(vol, tf, workers=2, start_method="spawn")
+        assert pr.start_method == "spawn"
+        np.testing.assert_array_equal(pr.render(cam, band_rows=8), serial)
+
+    def test_shared_memory_render_many_matches_serial(self, scene):
+        """Uniform-resolution batches take the shared-memory stack path."""
+        vol, tf, _ = scene
+        cams = [
+            orbit_camera(0.9 + 0.2 * i, 0.3 * i, radius=4.0, resolution=16)
+            for i in range(4)
+        ]
+        pr = ParallelRenderer(vol, tf, workers=2)
+        serial = [RaycastRenderer(vol, tf).render(c) for c in cams]
+        for a, b in zip(pr.render_many(cams), serial):
+            np.testing.assert_array_equal(a, b)
+
+    def test_mixed_resolution_falls_back_to_pickling(self, scene):
+        vol, tf, _ = scene
+        cams = [
+            orbit_camera(1.0, 0.5, radius=4.0, resolution=16),
+            orbit_camera(1.2, 0.8, radius=4.0, resolution=12),
+        ]
+        pr = ParallelRenderer(vol, tf, workers=2)
+        frames = pr.render_many(cams)
+        assert [f.shape for f in frames] == [(16, 16, 3), (12, 12, 3)]
+        serial = [RaycastRenderer(vol, tf).render(c) for c in cams]
+        for a, b in zip(frames, serial):
+            np.testing.assert_array_equal(a, b)
+
+    def test_macrocells_prepared_once_in_parent(self, scene):
+        """The parallel front end builds the acceleration structure at
+        construction time so workers inherit it instead of rebuilding."""
+        vol, tf, _ = scene
+        pr = ParallelRenderer(vol, tf, workers=2)
+        assert pr._inline._cells is not None
