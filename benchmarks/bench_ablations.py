@@ -12,7 +12,6 @@
 
 import os
 
-import pytest
 
 from repro.experiments import (
     ablation_agent_cache,

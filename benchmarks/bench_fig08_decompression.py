@@ -7,10 +7,8 @@ and benchmark a single inflate at the top resolution.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
-    PAPER,
     experiment_resolutions,
     format_series,
     format_table,

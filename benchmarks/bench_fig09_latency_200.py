@@ -5,8 +5,6 @@ are indistinguishable after an initial phase of about one access — the LAN
 depot makes remote browsing feel local at low resolution.
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments import experiment_resolutions, format_series
 

@@ -4,7 +4,6 @@ Paper shape: same as Figure 9 — the initial phase at 300² is still a single
 access; Case 3 tracks Case 1 and Case 2 keeps paying WAN latency.
 """
 
-import pytest
 
 from repro.experiments import experiment_resolutions
 

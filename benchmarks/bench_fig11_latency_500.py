@@ -9,7 +9,6 @@ disappears from the access stream.
 
 import os
 
-import pytest
 
 from repro.experiments import experiment_resolutions
 

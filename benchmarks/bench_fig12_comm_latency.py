@@ -7,10 +7,8 @@ hit/LAN tiers while Case 2 keeps spiking to the WAN tier.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments import (
-    PAPER,
     experiment_resolutions,
     format_series,
     format_table,

@@ -9,7 +9,6 @@ calibration.
 
 import os
 
-import pytest
 
 from repro.experiments import (
     access_rate_stats,

@@ -12,7 +12,7 @@ import os
 
 import pytest
 
-from repro.experiments import PAPER, format_table, text_fps
+from repro.experiments import format_table, text_fps
 from repro.lightfield import CameraLattice, DictProvider, LightFieldBuilder
 from repro.lightfield.synthesis import LightFieldSynthesizer
 from repro.render.camera import orbit_camera

@@ -10,7 +10,6 @@ QGR.
 
 import os
 
-import pytest
 
 from repro.experiments import experiment_resolutions, format_table, qgr_sweep
 

@@ -1,0 +1,80 @@
+"""Transfer-scheduling policy benchmark (the interference claim).
+
+Section 4.3 observes that aggressive staging contends with foreground
+misses during the initial phase.  The priority-aware transfer scheduler is
+the repo's answer: weighted max-min sharing (DEMAND 8 : PREFETCH 2 :
+STAGING 1) or strict demand preemption.  This benchmark quantifies the
+recovery on the Figure-9 topology and emits ``BENCH_streaming.json`` so
+regressions show up in review diffs.
+
+Arms: staging off entirely (case 2), then aggressive staging (case 3)
+under scheduling policies off / weighted / strict.  The headline metric is
+**demand-miss latency** — mean client latency over accesses not served
+from the agent cache or the client-resident set.
+"""
+
+import os
+
+from repro.experiments import (
+    ablation_scheduling,
+    experiment_resolutions,
+    format_table,
+)
+
+_SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+
+
+def test_scheduling_policies(benchmark, suite, report, bench_json):
+    res = experiment_resolutions()[0]
+    rows = ablation_scheduling(suite, res)
+    table = format_table(
+        headers=["arm", "misses", "demand miss s", "mean latency s",
+                 "initial phase", "deduped", "promoted", "cancelled"],
+        rows=[[r["arm"], r["misses"], round(r["demand_miss_latency_s"], 4),
+               round(r["mean_latency_s"], 4), r["initial_phase"],
+               r["deduped"], r["promoted"], r["cancelled"]] for r in rows],
+        title=f"Transfer scheduling — demand-miss latency @ {res}",
+    )
+    report("scheduling_policies", table)
+    by = {r["arm"]: r for r in rows}
+
+    blind = by["staging+off"]["demand_miss_latency_s"]
+    weighted = by["staging+weighted"]["demand_miss_latency_s"]
+    strict = by["staging+strict"]["demand_miss_latency_s"]
+    # the acceptance bar: priorities strictly reduce the interference that
+    # priority-blind staging inflicts on foreground misses.  At the small
+    # scale the tiny database localizes before contention builds (a single
+    # miss), so only parity is required there.
+    if _SMALL:
+        assert weighted <= blind * 1.05
+        assert strict <= blind * 1.05
+    else:
+        assert weighted < blind
+        assert strict < blind
+    # every arm actually exercised the miss path
+    for r in rows:
+        assert r["misses"] > 0
+
+    bench_json("streaming", {
+        "benchmark": "transfer_scheduling",
+        "resolution": res,
+        "metric": "demand_miss_latency_s",
+        "arms": {r["arm"]: {
+            "policy": r["policy"],
+            "staging": r["staging"],
+            "misses": r["misses"],
+            "demand_miss_latency_s": round(r["demand_miss_latency_s"], 6),
+            "mean_latency_s": round(r["mean_latency_s"], 6),
+            "initial_phase": r["initial_phase"],
+            "deduped": r["deduped"],
+            "promoted": r["promoted"],
+            "cancelled": r["cancelled"],
+        } for r in rows},
+        "speedup_weighted_vs_off": round(blind / weighted, 4)
+        if weighted else None,
+        "speedup_strict_vs_off": round(blind / strict, 4)
+        if strict else None,
+    })
+    benchmark.pedantic(
+        lambda: ablation_scheduling(suite, res), rounds=1, iterations=1
+    )

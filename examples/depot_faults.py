@@ -10,16 +10,29 @@ tolerable.  This example exercises those paths on the simulated fabric:
 3. staged soft allocations on the LAN depot get revoked under pressure and
    the client agent transparently falls back to the WAN.
 
-Run:  python examples/depot_faults.py
+Run:  python examples/depot_faults.py [--scheduling off|weighted|strict]
 """
 
+import argparse
+
 from repro.lightfield import CameraLattice, SyntheticSource
-from repro.lon import Depot, EventQueue, LBone, LoRS, LoRSError, Network, gbps, mbps
+from repro.lon import (
+    SCHEDULING_POLICIES,
+    Depot,
+    EventQueue,
+    LBone,
+    LoRS,
+    LoRSError,
+    Network,
+    TransferScheduler,
+    gbps,
+    mbps,
+)
 from repro.lon.faults import DepotOutage, LeaseStorm
 from repro.streaming import SessionConfig, build_rig
 
 
-def scenario_replica_failover() -> None:
+def scenario_replica_failover(policy: str) -> None:
     print("== 1. replication survives a depot outage ==")
     q = EventQueue()
     net = Network(q)
@@ -31,7 +44,10 @@ def scenario_replica_failover() -> None:
     depots = [Depot(n, q, capacity=1 << 28) for n in ("depot-a", "depot-b")]
     for d in depots:
         lbone.register(d)
-    lors = LoRS(q, net, lbone)
+    # inject an explicit scheduler so the failover download runs under the
+    # selected policy (the default LoRS scheduler is priority-blind)
+    lors = LoRS(q, net, lbone,
+                scheduler=TransferScheduler(net, policy=policy))
 
     data = bytes(range(256)) * 4096  # 1 MB
     exnode = lors.place("payload", data, depots, stripe_width=1, replicas=2)
@@ -69,11 +85,13 @@ def scenario_lease_expiry() -> None:
         print(f"   download failed as expected: {exc}\n")
 
 
-def scenario_soft_revocation() -> None:
+def scenario_soft_revocation(policy: str) -> None:
     print("== 3. staged soft allocations revoked under pressure ==")
     lattice = CameraLattice(n_theta=6, n_phi=12, l=3)
     source = SyntheticSource(lattice, resolution=48)
-    rig = build_rig(source, SessionConfig(case=3))
+    rig = build_rig(
+        source, SessionConfig(case=3, scheduling_policy=policy)
+    )
     rig.staging.start()
     rig.queue.run_until(200.0)
     lan = rig.lan_depots[0]
@@ -102,9 +120,15 @@ def scenario_soft_revocation() -> None:
 
 
 def main() -> None:
-    scenario_replica_failover()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scheduling", choices=SCHEDULING_POLICIES, default="weighted",
+        help="transfer-scheduling policy used by the fault scenarios",
+    )
+    args = parser.parse_args()
+    scenario_replica_failover(args.scheduling)
     scenario_lease_expiry()
-    scenario_soft_revocation()
+    scenario_soft_revocation(args.scheduling)
     print("done.")
 
 

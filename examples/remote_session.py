@@ -10,12 +10,14 @@ accesses, and the per-access latency is reported for
   Case 3 — Case 2 plus aggressive two-stage prestaging to a LAN depot.
 
 Run:  python examples/remote_session.py [--resolution 200] [--accesses 58]
+      [--scheduling off|weighted|strict]
 """
 
 import argparse
 
 from repro.experiments import format_series, format_table
 from repro.lightfield import CameraLattice, SyntheticSource
+from repro.lon import SCHEDULING_POLICIES
 from repro.streaming import SessionConfig, run_session
 
 
@@ -29,6 +31,12 @@ def main() -> None:
     parser.add_argument(
         "--lattice", type=str, default="36x72x6",
         help="n_theta x n_phi x l (paper: 72x144x6)",
+    )
+    parser.add_argument(
+        "--scheduling", choices=SCHEDULING_POLICIES, default="weighted",
+        help="transfer-scheduling policy: off = priority-blind equal "
+             "sharing, weighted = per-class max-min weights, strict = "
+             "demand preemption (pause background flows)",
     )
     args = parser.parse_args()
     nt, np_, l = (int(x) for x in args.lattice.split("x"))
@@ -46,12 +54,14 @@ def main() -> None:
         metrics = run_session(
             source,
             SessionConfig(case=case, n_accesses=args.accesses,
-                          trace_seed=args.seed),
+                          trace_seed=args.seed,
+                          scheduling_policy=args.scheduling),
         )
         s = metrics.summary()
         rows.append([
             f"case {case}", s["accesses"], s["hit_rate"], s["wan_rate"],
             s["initial_phase"], s["mean_latency_s"], s["steady_latency_s"],
+            s["deduped"], s["promoted"],
         ])
         print(format_series(
             f"case {case} client latency (s)", metrics.latency_series()
@@ -60,9 +70,11 @@ def main() -> None:
 
     print(format_table(
         headers=["case", "accesses", "hit rate", "wan rate",
-                 "initial phase", "mean s", "steady s"],
+                 "initial phase", "mean s", "steady s", "deduped",
+                 "promoted"],
         rows=rows,
-        title="Cases 1-3 summary (paper: case 3 converges to case 1)",
+        title=(f"Cases 1-3 summary, scheduling={args.scheduling} "
+               "(paper: case 3 converges to case 1)"),
     ))
 
 

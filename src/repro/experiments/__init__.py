@@ -14,11 +14,13 @@ from .runners import (
     ablation_agent_cache,
     ablation_codec,
     ablation_prefetch_policy,
+    ablation_scheduling,
     ablation_staging,
     ablation_stripe_width,
     ablation_viewset_size,
     access_rate_stats,
     fig07_database_size,
+    demand_miss_latency,
     qgr_sweep,
     text_fps,
     text_generation_time,
@@ -30,11 +32,13 @@ __all__ = [
     "ablation_agent_cache",
     "ablation_codec",
     "ablation_prefetch_policy",
+    "ablation_scheduling",
     "ablation_staging",
     "ablation_stripe_width",
     "ablation_viewset_size",
     "access_rate_stats",
     "banner",
+    "demand_miss_latency",
     "experiment_lattice",
     "experiment_resolutions",
     "fig07_database_size",

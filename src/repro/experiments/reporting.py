@@ -8,7 +8,7 @@ evaluation section.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 __all__ = ["format_table", "format_series", "banner"]
 

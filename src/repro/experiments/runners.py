@@ -10,7 +10,6 @@ sessions (3 cases × 3 resolutions).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,10 +20,11 @@ from ..lightfield.lattice import CameraLattice
 from ..lightfield.source import SyntheticSource
 from ..lightfield.synthesis import DictProvider, LightFieldSynthesizer
 from ..render.camera import orbit_camera
-from ..render.raycast import RaycastRenderer, RenderSettings
+from ..render.raycast import RenderSettings
 from ..volume.synthetic import neg_hip
 from ..volume.transfer import preset
 from .config import PAPER, experiment_lattice, experiment_resolutions
+from ..lon.scheduler import SCHEDULING_POLICIES
 from ..streaming.metrics import AccessSource, SessionMetrics
 from ..streaming.session import SessionConfig, run_session
 
@@ -36,6 +36,7 @@ __all__ = [
     "access_rate_stats",
     "qgr_sweep",
     "ablation_prefetch_policy",
+    "ablation_scheduling",
     "ablation_staging",
     "ablation_stripe_width",
     "ablation_codec",
@@ -444,6 +445,56 @@ def ablation_agent_cache(
             "hit_rate": m.hit_rate(),
             "wan_rate": m.wan_rate(),
             "mean_latency_s": m.mean_latency(),
+        })
+    return rows
+
+
+def demand_miss_latency(m: SessionMetrics) -> Tuple[float, int]:
+    """Mean client latency over accesses that missed every local tier.
+
+    These are the transfers that actually contend with background staging
+    and prefetch traffic, so they isolate the scheduling policy's effect.
+    Returns ``(mean_seconds, miss_count)``; ``(0.0, 0)`` if no misses.
+    """
+    pool = [
+        a for a in m.accesses
+        if a.source not in (AccessSource.AGENT_CACHE,
+                            AccessSource.CLIENT_RESIDENT)
+    ]
+    if not pool:
+        return 0.0, 0
+    return sum(a.total_latency for a in pool) / len(pool), len(pool)
+
+
+def ablation_scheduling(
+    suite: StreamingSuite, resolution: int
+) -> List[dict]:
+    """Transfer-scheduling policy ablation on the Figure-9 topology.
+
+    Four arms: staging off entirely (case 2), then aggressive staging
+    (case 3) under each scheduling policy — priority-blind equal sharing
+    ("off"), weighted max-min by class ("weighted") and demand-strict
+    preemption ("strict").  The interesting comparison is demand-miss
+    latency: priorities should recover (most of) the interference that
+    background staging inflicts on foreground misses.
+    """
+    arms = [("staging-off", 2, "weighted")]
+    arms += [(f"staging+{p}", 3, p) for p in SCHEDULING_POLICIES]
+    rows = []
+    for label, case, policy in arms:
+        m = suite.run(case, resolution, scheduling_policy=policy)
+        miss_latency, misses = demand_miss_latency(m)
+        rows.append({
+            "arm": label,
+            "policy": policy,
+            "staging": case == 3,
+            "misses": misses,
+            "demand_miss_latency_s": miss_latency,
+            "mean_latency_s": m.mean_latency(),
+            "initial_phase": m.initial_phase_length(),
+            "deduped": m.deduped,
+            "promoted": m.promoted_transfers,
+            "cancelled": m.cancelled_transfers,
         })
     return rows
 

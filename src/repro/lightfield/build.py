@@ -9,8 +9,8 @@ compressed sizes, compression ratio).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from ..render.camera import Camera, orbit_camera
 from ..render.image import to_uint8
 from ..render.lighting import Light
 from ..render.parallel import ParallelRenderer
-from ..render.raycast import RaycastRenderer, RenderSettings
+from ..render.raycast import RenderSettings
 from ..volume.grid import VolumeGrid
 from ..volume.transfer import TransferFunction
 from .compression import CompressionResult, ZlibCodec

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -12,9 +12,9 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Union
 
-from .compression import CompressionResult, ZlibCodec, codec_for_payload
+from .compression import CompressionResult, codec_for_payload
 from .lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from .sphere import TwoSphere
 from .viewset import ViewSet

@@ -22,15 +22,27 @@ from .ibp import (
 from .lbone import DepotRecord, LBone, LBoneError
 from .lors import Deferred, DEFAULT_BLOCK_SIZE, LoRS, LoRSError
 from .network import Flow, Link, Network, NetworkError, NoRouteError, gbps, mbps
+from .scheduler import (
+    CancelToken,
+    DEFAULT_CLASS_WEIGHTS,
+    InFlightRegistry,
+    Priority,
+    SCHEDULING_POLICIES,
+    TransferEvent,
+    TransferHandle,
+    TransferScheduler,
+)
 from .simtime import Event, EventQueue, Process, SimClock, SimulationError
 from .warmer import LeaseWarmer, WarmerStats
 
 __all__ = [
     "Allocation",
+    "CancelToken",
     "Capability",
     "CapType",
     "Deferred",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_CLASS_WEIGHTS",
     "Depot",
     "DepotRecord",
     "Event",
@@ -44,6 +56,7 @@ __all__ = [
     "IBPNoSuchCapError",
     "IBPPermissionError",
     "IBPRefusedError",
+    "InFlightRegistry",
     "LBone",
     "LBoneError",
     "Link",
@@ -53,9 +66,14 @@ __all__ = [
     "Network",
     "NetworkError",
     "NoRouteError",
+    "Priority",
     "Process",
+    "SCHEDULING_POLICIES",
     "SimClock",
     "SimulationError",
+    "TransferEvent",
+    "TransferHandle",
+    "TransferScheduler",
     "LeaseWarmer",
     "WarmerStats",
     "gbps",

@@ -20,13 +20,14 @@ through callbacks; :class:`Deferred` is a minimal result holder for callers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .exnode import ExNode, Extent, Mapping
-from .ibp import Capability, Depot, IBPError
+from .ibp import Depot, IBPError
 from .lbone import LBone
 from .network import Flow, Network, NetworkError
+from .scheduler import CancelToken, Priority, TransferHandle, TransferScheduler
 from .simtime import EventQueue
 
 __all__ = [
@@ -105,7 +106,7 @@ class _BlockFetch:
 
     mapping: Mapping
     alternates: List[Mapping]
-    flow: Optional[Flow] = None
+    handle: Optional[TransferHandle] = None
     attempts: int = 0
 
 
@@ -125,12 +126,16 @@ class DownloadJob:
         dest: str,
         max_streams: int,
         deferred: Deferred,
+        priority: Priority = Priority.DEMAND,
+        token: Optional[CancelToken] = None,
     ) -> None:
         self.lors = lors
         self.exnode = exnode
         self.dest = dest
         self.max_streams = max(1, max_streams)
         self.deferred = deferred
+        self.priority = Priority(priority)
+        self.token = token if token is not None else CancelToken()
         self.buffer = bytearray(exnode.length)
         self._pending: List[_BlockFetch] = []
         self._inflight = 0
@@ -139,6 +144,7 @@ class DownloadJob:
         self._remaining_blocks = 0
         self.bytes_fetched = 0
         self.per_depot_bytes: Dict[str, int] = {}
+        self.token.on_cancel(self.cancel)
 
     # -- plan -----------------------------------------------------------
     def start(self) -> None:
@@ -157,13 +163,24 @@ class DownloadJob:
 
     def cancel(self) -> None:
         """Abort the download; the deferred is rejected."""
-        if self.deferred.done:
+        if self.deferred.done or self._cancelled:
             return
         self._cancelled = True
         for bf in self._pending:
-            if bf.flow is not None:
-                self.lors.network.cancel_flow(bf.flow)
+            if bf.handle is not None:
+                bf.handle.cancel()
+        self.token.cancel()
         self.deferred.reject(LoRSError("download cancelled"))
+
+    def promote(self, priority: Priority) -> None:
+        """Raise the urgency of every outstanding and future block fetch."""
+        priority = Priority(priority)
+        if priority >= self.priority:
+            return
+        self.priority = priority
+        for bf in self._pending:
+            if bf.handle is not None:
+                bf.handle.promote(priority)
 
     def _plan_blocks(self) -> List[_BlockFetch]:
         """Greedy minimal cover of [0, length) by mapping extents.
@@ -213,7 +230,7 @@ class DownloadJob:
         for bf in self._pending:
             if self._inflight >= self.max_streams:
                 break
-            if bf.flow is None and bf.attempts == 0:
+            if bf.handle is None and bf.attempts == 0:
                 self._launch(bf)
 
     def _launch(self, bf: _BlockFetch) -> None:
@@ -234,13 +251,15 @@ class DownloadJob:
             if self._failed or self._cancelled:
                 return
             try:
-                bf.flow = self.lors.network.transfer(
+                bf.handle = self.lors.scheduler.submit(
                     m.depot,
                     self.dest,
                     m.extent.length,
                     on_complete=lambda fl: self._block_done(bf, data),
                     on_fail=lambda fl, exc: self._block_failed(bf, exc),
                     label=f"dl:{self.exnode.name}:{m.extent.offset}",
+                    priority=self.priority,
+                    token=self.token,
                 )
             except NetworkError as exc:
                 # the depot was partitioned between request and response
@@ -275,13 +294,13 @@ class DownloadJob:
     def _failover(self, bf: _BlockFetch, exc: Exception) -> None:
         if bf.alternates:
             bf.mapping = bf.alternates.pop(0)
-            bf.flow = None
+            bf.handle = None
             self._launch(bf)
             return
         self._failed = True
         for other in self._pending:
-            if other.flow is not None:
-                self.lors.network.cancel_flow(other.flow)
+            if other.handle is not None:
+                other.handle.cancel()
         self.deferred.reject(
             LoRSError(
                 f"download of {self.exnode.name!r} failed at extent "
@@ -308,6 +327,8 @@ class CopyJob:
         soft: bool,
         deferred: Deferred,
         max_streams: int = 4,
+        priority: Priority = Priority.STAGING,
+        token: Optional[CancelToken] = None,
     ) -> None:
         self.lors = lors
         self.exnode = exnode
@@ -316,13 +337,16 @@ class CopyJob:
         self.soft = soft
         self.deferred = deferred
         self.max_streams = max(1, max_streams)
+        self.priority = Priority(priority)
+        self.token = token if token is not None else CancelToken()
         self.new_mappings: List[Mapping] = []
         self._remaining = 0
         self._failed = False
         self._cancelled = False
-        self._flows: List[Flow] = []
+        self._handles: List[TransferHandle] = []
         self._queue_blocks: List[Tuple[Mapping, List[Mapping]]] = []
         self._inflight = 0
+        self.token.on_cancel(self.cancel)
 
     def start(self) -> None:
         """Launch depot→depot block copies, ``max_streams`` at a time."""
@@ -354,12 +378,22 @@ class CopyJob:
 
     def cancel(self) -> None:
         """Abort outstanding block copies; rejects the deferred."""
-        if self.deferred.done:
+        if self.deferred.done or self._cancelled:
             return
         self._cancelled = True
-        for fl in self._flows:
-            self.lors.network.cancel_flow(fl)
+        for h in self._handles:
+            h.cancel()
+        self.token.cancel()
         self.deferred.reject(LoRSError("copy cancelled"))
+
+    def promote(self, priority: Priority) -> None:
+        """Raise the urgency of every outstanding and future block copy."""
+        priority = Priority(priority)
+        if priority >= self.priority:
+            return
+        self.priority = priority
+        for h in self._handles:
+            h.promote(priority)
 
     def _copy_block(self, m: Mapping, alternates: List[Mapping]) -> None:
         try:
@@ -396,7 +430,7 @@ class CopyJob:
                 self._pump()
 
         try:
-            fl = self.lors.network.transfer(
+            handle = self.lors.scheduler.submit(
                 m.depot,
                 self.target.name,
                 m.extent.length,
@@ -405,11 +439,13 @@ class CopyJob:
                     m, alternates, exc
                 ),
                 label=f"copy:{self.exnode.name}:{m.extent.offset}",
+                priority=self.priority,
+                token=self.token,
             )
         except NetworkError as exc:
             self._block_copy_failed(m, alternates, exc)
             return
-        self._flows.append(fl)
+        self._handles.append(handle)
 
     def _block_copy_failed(
         self, m: Mapping, alternates: List[Mapping], exc: Exception
@@ -420,8 +456,8 @@ class CopyJob:
             self._copy_block(alternates[0], alternates[1:])
             return
         self._failed = True
-        for fl in self._flows:
-            self.lors.network.cancel_flow(fl)
+        for h in self._handles:
+            h.cancel()
         if not self.deferred.done:
             self.deferred.reject(
                 LoRSError(
@@ -431,14 +467,28 @@ class CopyJob:
 
 
 class LoRS:
-    """Facade tying the network, L-Bone and depots into file operations."""
+    """Facade tying the network, L-Bone and depots into file operations.
+
+    Every byte-moving operation issues its flows through a
+    :class:`~repro.lon.scheduler.TransferScheduler`.  When the caller does
+    not supply one, a private ``policy="off"`` scheduler reproduces the
+    historical priority-blind behaviour exactly.
+    """
 
     def __init__(
-        self, queue: EventQueue, network: Network, lbone: LBone
+        self,
+        queue: EventQueue,
+        network: Network,
+        lbone: LBone,
+        scheduler: Optional[TransferScheduler] = None,
     ) -> None:
         self.queue = queue
         self.network = network
         self.lbone = lbone
+        self.scheduler = (
+            scheduler if scheduler is not None
+            else TransferScheduler(network, policy="off")
+        )
 
     # ------------------------------------------------------------------
     # placement (offline pre-distribution, as the paper's server does)
@@ -514,11 +564,15 @@ class LoRS:
         block_size: int = DEFAULT_BLOCK_SIZE,
         duration: float = 3600.0,
         soft: bool = False,
+        priority: Priority = Priority.MAINTENANCE,
+        token: Optional[CancelToken] = None,
     ) -> Deferred:
         """Asynchronous upload from ``source``: place + pay for the flows.
 
         The layout matches :meth:`place`; the deferred resolves with the
         resulting :class:`ExNode` once every block flow has been delivered.
+        Uploads default to the MAINTENANCE class: database upkeep should
+        never crowd out a user-facing fetch.
         """
         deferred = Deferred()
         try:
@@ -549,19 +603,32 @@ class LoRS:
             deferred.reject(LoRSError(f"upload of {name!r} failed: {exc}"))
 
         for m in exnode.mappings:
-            self.network.transfer(
+            self.scheduler.submit(
                 source, m.depot, m.extent.length,
                 on_complete=done, on_fail=fail,
                 label=f"ul:{name}:{m.extent.offset}",
+                priority=priority,
+                token=token,
             )
         return deferred
 
     def download(
-        self, exnode: ExNode, dest: str, max_streams: int = 8
+        self,
+        exnode: ExNode,
+        dest: str,
+        max_streams: int = 8,
+        priority: Priority = Priority.DEMAND,
+        token: Optional[CancelToken] = None,
     ) -> Deferred:
-        """Fetch a whole exNode to node ``dest``; resolves with ``bytes``."""
+        """Fetch a whole exNode to node ``dest``; resolves with ``bytes``.
+
+        ``priority`` sets the scheduling class of every block flow (DEMAND
+        for a waiting user, PREFETCH for speculative warm-up); the returned
+        deferred's ``job`` can be promoted mid-flight via ``job.promote``.
+        """
         deferred = Deferred()
-        job = DownloadJob(self, exnode, dest, max_streams, deferred)
+        job = DownloadJob(self, exnode, dest, max_streams, deferred,
+                          priority=priority, token=token)
         deferred.job = job  # type: ignore[attr-defined]
         job.start()
         return deferred
@@ -573,17 +640,20 @@ class LoRS:
         duration: float = 3600.0,
         soft: bool = True,
         max_streams: int = 4,
+        priority: Priority = Priority.STAGING,
+        token: Optional[CancelToken] = None,
     ) -> Deferred:
         """Third-party copy onto ``target``; resolves with new mappings.
 
         Staged copies default to *soft* allocations: the LAN depot may
         reclaim them under pressure, exactly the revocable idle-resource
         sharing LoN advertises.  ``max_streams`` bounds concurrent block
-        flows (the staging aggressiveness knob).
+        flows (the staging aggressiveness knob).  Copies run in the STAGING
+        class by default and can be promoted to DEMAND mid-flight.
         """
         deferred = Deferred()
         job = CopyJob(self, exnode, target, duration, soft, deferred,
-                      max_streams=max_streams)
+                      max_streams=max_streams, priority=priority, token=token)
         deferred.job = job  # type: ignore[attr-defined]
         job.start()
         return deferred

@@ -10,8 +10,16 @@ the paper's evaluation depends on:
   which is what makes LoRS multi-stream downloads faster than a single socket
   and what makes aggressive staging slow down foreground misses (the
   "prefetching ... places a burden" observation in Section 4.3);
-* **dynamic re-rating**: whenever a flow starts or finishes, all flow rates
-  are recomputed and completion events rescheduled.
+* **weighted sharing**: each flow carries a ``weight``; link capacity is
+  divided by weighted max-min fairness (weight 1.0 everywhere reproduces the
+  classic equal-share behaviour).  :class:`repro.lon.scheduler` maps transfer
+  priority classes onto weights so a demand miss sharing the WAN with
+  background staging still gets most of the pipe;
+* **pause/resume**: a flow can be taken out of bandwidth contention without
+  losing its progress (strict-preemption scheduling) and resumed later;
+* **dynamic re-rating**: whenever a flow starts, finishes, pauses, resumes or
+  changes weight, all flow rates are recomputed and completion events
+  rescheduled.
 
 Routing is shortest-path by latency over a :mod:`networkx` graph.  Transfers
 deliver their completion callback after ``path propagation latency +
@@ -25,7 +33,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
-from .simtime import Event, EventQueue, SimulationError
+from .simtime import Event, EventQueue
 
 __all__ = [
     "Link",
@@ -98,6 +106,7 @@ class Flow:
     on_fail: Optional[Callable[["Flow", Exception], None]] = None
     label: str = ""
     rate_cap: float = float("inf")  # TCP window / RTT ceiling
+    weight: float = 1.0             # share of weighted max-min fairness
     remaining: float = field(init=False)
     rate: float = field(default=0.0, init=False)
     last_update: float = field(default=0.0, init=False)
@@ -108,10 +117,19 @@ class Flow:
     _completion_event: Optional[Event] = field(default=None, init=False)
     done: bool = field(default=False, init=False)
     failed: bool = field(default=False, init=False)
+    paused: bool = field(default=False, init=False)
+    #: optional observer fired as ``hook(flow, old_rate)`` whenever a
+    #: rebalance changes this flow's allocated rate.  Observers must only
+    #: record — starting/cancelling flows from the hook is undefined.
+    on_rate_change: Optional[Callable[["Flow", float], None]] = field(
+        default=None, init=False
+    )
 
     def __post_init__(self) -> None:
         if self.size < 0:
             raise ValueError("flow size must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("flow weight must be positive")
         self.remaining = float(self.size)
 
     @property
@@ -235,16 +253,20 @@ class Network:
         on_complete: Callable[[Flow], None],
         on_fail: Optional[Callable[[Flow, Exception], None]] = None,
         label: str = "",
+        weight: float = 1.0,
     ) -> Flow:
         """Start a bulk transfer of ``size`` bytes from src to dst.
 
         ``on_complete(flow)`` fires at simulated delivery time.  Same-node
-        transfers complete after a nominal memcpy delay.  Raises
-        :class:`NoRouteError` immediately if the endpoints are partitioned.
+        transfers complete after a nominal memcpy delay.  ``weight`` scales
+        this flow's share under weighted max-min fairness (1.0 = classic
+        equal share).  Raises :class:`NoRouteError` immediately if the
+        endpoints are partitioned.
         """
         now = self.queue.now
         if src == dst:
-            flow = Flow(src, dst, size, (), on_complete, on_fail, label)
+            flow = Flow(src, dst, size, (), on_complete, on_fail, label,
+                        weight=weight)
             flow.start_time = now
             memcpy = 1e-4 + size / gbps(8.0)  # local copy at ~8 Gb/s
             flow.finish_time = now + memcpy
@@ -257,7 +279,8 @@ class Network:
         links = tuple(
             self.link_between(u, v).key for u, v in zip(path, path[1:])
         )
-        flow = Flow(src, dst, size, links, on_complete, on_fail, label)
+        flow = Flow(src, dst, size, links, on_complete, on_fail, label,
+                    weight=weight)
         flow.start_time = now
         flow.last_update = now
         flow.prop_latency = self.path_latency(src, dst)
@@ -280,6 +303,37 @@ class Network:
             self._flows.remove(flow)
             self._rebalance()
 
+    def pause_flow(self, flow: Flow) -> None:
+        """Take a flow out of bandwidth contention, keeping its progress.
+
+        A paused flow stops draining (rate 0) but stays admitted; survivors
+        sharing its links are re-rated immediately.  Used by the transfer
+        scheduler's strict-preemption policy.  No-op on finished flows.
+        """
+        if flow.done or flow.failed or flow.paused:
+            return
+        flow.paused = True
+        if flow in self._flows and flow.drained_at is None:
+            self._rebalance()
+
+    def resume_flow(self, flow: Flow) -> None:
+        """Re-admit a paused flow to bandwidth contention."""
+        if flow.done or flow.failed or not flow.paused:
+            return
+        flow.paused = False
+        if flow in self._flows:
+            self._rebalance()
+
+    def set_flow_weight(self, flow: Flow, weight: float) -> None:
+        """Change a flow's fair-share weight mid-transfer (re-rates all)."""
+        if weight <= 0:
+            raise ValueError("flow weight must be positive")
+        if flow.weight == weight:
+            return
+        flow.weight = weight
+        if flow in self._flows and not (flow.done or flow.failed):
+            self._rebalance()
+
     # -- internals ------------------------------------------------------
     def _settle(self, now: float) -> None:
         """Drain each flow's progress up to ``now`` at its current rate."""
@@ -297,10 +351,17 @@ class Network:
                 f.last_update = now
 
     def _maxmin_rates(self) -> Dict[int, float]:
-        """Max-min fair rate for every active flow (water-filling)."""
-        # flows whose bytes have fully drained are in their propagation
-        # tail and no longer consume link bandwidth
-        active = {id(f): f for f in self._flows if f.drained_at is None}
+        """Weighted max-min fair rate for every active flow (water-filling).
+
+        Each bottleneck link's capacity is split proportionally to flow
+        weights; with all weights 1.0 this is the classic equal-share
+        max-min allocation.  Paused flows and flows whose bytes have fully
+        drained (propagation tail) consume no bandwidth.
+        """
+        active = {
+            id(f): f for f in self._flows
+            if f.drained_at is None and not f.paused
+        }
         caps: Dict[object, float] = {
             k: l.bandwidth for k, l in self._links.items() if l.up
         }
@@ -310,22 +371,27 @@ class Network:
                 members.setdefault(lk, []).append(fid)
             if f.rate_cap != float("inf"):
                 # a flow's TCP-window ceiling is a virtual single-flow link
+                # (level = cap/weight, share = level*weight = rate_cap)
                 cap_key = ("cap", fid)
                 caps[cap_key] = f.rate_cap
                 members[cap_key] = [fid]
         rates: Dict[int, float] = {}
         unassigned = set(active)
         while unassigned:
-            # fair share currently offered by each constrained link
-            best_share = None
+            # water level currently offered by each constrained link: the
+            # per-unit-weight rate if the link alone were the bottleneck
+            best_level = None
             best_link = None
             for lk, flows_on in members.items():
-                live = [fid for fid in flows_on if fid in unassigned]
-                if not live:
+                live_weight = sum(
+                    active[fid].weight for fid in flows_on
+                    if fid in unassigned
+                )
+                if live_weight <= 0:
                     continue
-                share = caps[lk] / len(live)
-                if best_share is None or share < best_share:
-                    best_share = share
+                level = caps[lk] / live_weight
+                if best_level is None or level < best_level:
+                    best_level = level
                     best_link = lk
             if best_link is None:
                 # remaining flows traverse no capacity-constrained link
@@ -334,11 +400,12 @@ class Network:
                 break
             for fid in list(members[best_link]):
                 if fid in unassigned:
-                    rates[fid] = best_share
+                    share = best_level * active[fid].weight
+                    rates[fid] = share
                     unassigned.discard(fid)
                     for lk in active[fid].path_links:
                         if lk != best_link:
-                            caps[lk] = max(0.0, caps[lk] - best_share)
+                            caps[lk] = max(0.0, caps[lk] - share)
             caps[best_link] = 0.0
             members.pop(best_link)
         return rates
@@ -354,7 +421,10 @@ class Network:
             self._retire(f)
         rates = self._maxmin_rates()
         for f in self._flows:
+            old_rate = f.rate
             f.rate = rates.get(id(f), 0.0)
+            if f.on_rate_change is not None and f.rate != old_rate:
+                f.on_rate_change(f, old_rate)
             if f._completion_event is not None:
                 self.queue.cancel(f._completion_event)
                 f._completion_event = None
@@ -392,8 +462,9 @@ class Network:
         self._flows.remove(flow)
         if flow._completion_event is not None:
             self.queue.cancel(flow._completion_event)
-            flow._completion_event = None
-        self.queue.schedule(
+        # keep the delivery event on the flow so a late cancel_flow() during
+        # the propagation tail still suppresses on_complete
+        flow._completion_event = self.queue.schedule(
             max(now, flow.drained_at + flow.prop_latency),
             lambda: self._finish_flow(flow),
             f"deliver:{flow.label}",

@@ -22,7 +22,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 __all__ = ["SimClock", "Event", "EventQueue", "Process", "SimulationError"]
 

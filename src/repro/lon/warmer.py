@@ -10,7 +10,7 @@ owner can re-replicate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .exnode import ExNode

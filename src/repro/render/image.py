@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

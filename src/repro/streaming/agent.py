@@ -13,21 +13,26 @@ modules".  Its request path mirrors the paper exactly:
 4. **server runtime** — the DVS knows no exNode: the request is forwarded to
    the server agent for generation.
 
-Duplicate requests for an in-flight view set coalesce onto one download.
-Prefetches run the same path but never preempt: they exist to warm the cache
-before the user crosses a view-set boundary.
+All in-flight fetches live in the scheduler's shared
+:class:`~repro.lon.scheduler.InFlightRegistry`: duplicate requests coalesce
+onto one download, a demand arrival *promotes* an in-flight prefetch or
+staging copy to DEMAND class instead of starting a duplicate, and cursor
+moves cancel speculative fetches that are no longer nearby.  Demand misses
+run at DEMAND priority; prefetches at PREFETCH — they warm the cache without
+crowding out a waiting user.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
-from ..lightfield.lattice import CameraLattice, ViewSetKey
+from ..lightfield.lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from ..lon.exnode import ExNode, Mapping
-from ..lon.lors import Deferred, LoRS
+from ..lon.lors import Deferred, DownloadJob, LoRS
 from ..lon.network import Network
+from ..lon.scheduler import InFlightRegistry, Priority
 from ..lon.simtime import EventQueue
 from .dvs import DVSServer
 from .metrics import AccessSource
@@ -52,6 +57,9 @@ class AgentStats:
     prefetch_hits: int = 0           # demand requests served by prefetched data
     coalesced: int = 0
     evictions: int = 0
+    deduped: int = 0                 # duplicate cross-layer fetches suppressed
+    promoted: int = 0                # background fetches promoted to DEMAND
+    cancelled: int = 0               # stale prefetches cancelled on retarget
 
 
 @dataclass
@@ -62,9 +70,16 @@ class _Waiter:
 
 
 @dataclass
-class _InFlight:
+class _Flight:
+    """Agent-side bookkeeping for one registry entry it waits on."""
+
     waiters: List[_Waiter] = field(default_factory=list)
     prefetch_only: bool = True
+    priority: Priority = Priority.PREFETCH
+    job: Optional[DownloadJob] = None
+    foreign: bool = False      # bytes are moving under another layer's entry
+    retried: bool = False
+    cancelled: bool = False
 
 
 class ClientAgent:
@@ -90,22 +105,29 @@ class ClientAgent:
         server_agents: Optional[Dict[str, ServerAgent]] = None,
         cache_bytes: Optional[int] = None,
         max_streams: int = 8,
+        prefetch_cancel_beyond: Optional[int] = 2,
     ) -> None:
+        """``prefetch_cancel_beyond``: on a cursor retarget, in-flight
+        prefetches farther than this view-set grid distance from the new
+        cursor are cancelled (``None`` disables cancellation)."""
         self.node = node
         self.queue = queue
         self.network = network
         self.lors = lors
+        self.scheduler = lors.scheduler
+        self.registry: InFlightRegistry = lors.scheduler.registry
         self.dvs = dvs
         self.dvs_node = dvs_node
         self.lattice = lattice
         self.server_agents = dict(server_agents or {})
         self.cache_bytes = cache_bytes
         self.max_streams = max_streams
+        self.prefetch_cancel_beyond = prefetch_cancel_beyond
         self._payloads: "OrderedDict[str, bytes]" = OrderedDict()
         self._payload_total = 0
         self._exnodes: Dict[str, ExNode] = {}
         self._staged_lan: Dict[str, ExNode] = {}
-        self._inflight: Dict[str, _InFlight] = {}
+        self._flights: Dict[str, _Flight] = {}
         self._prefetched: set = set()
         self.stats = AgentStats()
 
@@ -198,15 +220,96 @@ class ClientAgent:
             return
         waiter = _Waiter(on_payload=on_payload, t_arrival=t0,
                          prefetch=prefetch)
-        flight = self._inflight.get(vid)
+        flight = self._flights.get(vid)
         if flight is not None:
+            # coalesce onto the flight we already wait on; a demand arrival
+            # promotes whatever transfer is moving the bytes
             self.stats.coalesced += 1
             flight.waiters.append(waiter)
             flight.prefetch_only &= prefetch
+            if not prefetch:
+                if self.registry.promote(vid, Priority.DEMAND):
+                    self.stats.promoted += 1
             return
-        flight = _InFlight(waiters=[waiter], prefetch_only=prefetch)
-        self._inflight[vid] = flight
+        if vid in self.registry:
+            # another layer (staging) is already moving these bytes: ride
+            # its completion instead of starting a duplicate download
+            self.stats.deduped += 1
+            self.registry.note_deduped(vid)
+            flight = _Flight(
+                waiters=[waiter], prefetch_only=prefetch, foreign=True,
+                priority=Priority.PREFETCH if prefetch else Priority.DEMAND,
+            )
+            self._flights[vid] = flight
+            if not prefetch:
+                if self.registry.promote(vid, Priority.DEMAND):
+                    self.stats.promoted += 1
+            self.registry.subscribe(
+                vid, lambda ok: self._foreign_done(vid, ok)
+            )
+            return
+        flight = _Flight(
+            waiters=[waiter], prefetch_only=prefetch,
+            priority=Priority.PREFETCH if prefetch else Priority.DEMAND,
+        )
+        self._flights[vid] = flight
+        self._register_flight(vid, flight)
         self._resolve(vid)
+
+    def _register_flight(self, vid: str, flight: _Flight) -> None:
+        self.registry.register(
+            vid,
+            "prefetch" if flight.prefetch_only else "demand",
+            flight.priority,
+            promote_cb=lambda p: self._promote_flight(vid, p),
+            cancel_cb=lambda: self._cancel_flight(vid),
+        )
+
+    def _promote_flight(self, vid: str, priority: Priority) -> None:
+        flight = self._flights.get(vid)
+        if flight is None:
+            return
+        flight.priority = Priority(priority)
+        if flight.job is not None:
+            flight.job.promote(priority)
+
+    def _cancel_flight(self, vid: str) -> None:
+        flight = self._flights.pop(vid, None)
+        if flight is None:
+            return
+        flight.cancelled = True
+        self.stats.cancelled += 1
+        if flight.job is not None:
+            flight.job.cancel()
+
+    def _foreign_done(self, vid: str, ok: bool) -> None:
+        """The other layer's transfer finished (or died): resolve normally.
+
+        On success the view set is now staged on the LAN depot, so this
+        turns into a fast local fetch; on failure we fall back to the usual
+        exNode/DVS path.
+        """
+        flight = self._flights.get(vid)
+        if flight is None or flight.cancelled:
+            return
+        flight.foreign = False
+        self._register_flight(vid, flight)
+        self._resolve(vid)
+
+    def retarget(self, key: ViewSetKey) -> None:
+        """Cursor moved: cancel speculative fetches now far from it."""
+        if self.prefetch_cancel_beyond is None:
+            return
+        for vid, flight in list(self._flights.items()):
+            if not flight.prefetch_only or flight.foreign:
+                continue
+            try:
+                k = parse_viewset_id(vid)
+            except ValueError:
+                continue  # zoom/temporal namespaces have no grid distance
+            if (self.lattice.viewset_distance(key, k)
+                    > self.prefetch_cancel_beyond):
+                self.registry.cancel(vid)
 
     # -- resolution pipeline ---------------------------------------------
     def _resolve(self, vid: str) -> None:
@@ -243,19 +346,24 @@ class ClientAgent:
 
     def _download_classified(self, vid: str, exnode: ExNode) -> None:
         """Download via LoRS; classify the source by which depots served."""
+        flight = self._flights.get(vid)
+        if flight is None or flight.cancelled:
+            return
         deferred = self.lors.download(exnode, self.node,
-                                      max_streams=self.max_streams)
+                                      max_streams=self.max_streams,
+                                      priority=flight.priority)
+        flight.job = deferred.job  # type: ignore[attr-defined]
 
         def done(dfd: Deferred) -> None:
+            if self._flights.get(vid) is not flight or flight.cancelled:
+                return  # cancelled or superseded: nobody is waiting
+            flight.job = None
             if dfd.failed:
                 # drop the stale exNode and retry through the DVS once
                 self._exnodes.pop(vid, None)
                 self._staged_lan.pop(vid, None)
-                flight = self._inflight.get(vid)
-                if flight is not None and not getattr(
-                    flight, "_retried", False
-                ):
-                    flight._retried = True  # type: ignore[attr-defined]
+                if not flight.retried:
+                    flight.retried = True
                     self._resolve(vid)
                 else:
                     self._fail(vid, RuntimeError(f"download failed for {vid}"))
@@ -304,8 +412,9 @@ class ClientAgent:
 
     def _deliver(self, vid: str, payload: bytes,
                  source: AccessSource) -> None:
-        flight = self._inflight.pop(vid, None)
+        flight = self._flights.pop(vid, None)
         self._cache_put(vid, payload)
+        self.registry.complete(vid, success=True)
         if flight is None:
             return
         if flight.prefetch_only:
@@ -317,7 +426,8 @@ class ClientAgent:
             w.on_payload(payload, source, now - w.t_arrival)
 
     def _fail(self, vid: str, exc: Exception) -> None:
-        flight = self._inflight.pop(vid, None)
+        flight = self._flights.pop(vid, None)
+        self.registry.complete(vid, success=False)
         if flight is None:
             return
         for w in flight.waiters:
@@ -329,6 +439,11 @@ class ClientAgent:
         """Warm the cache for likely-next view sets (Figure 4 policy)."""
         for key in keys:
             vid = self.lattice.viewset_id(key)
-            if vid in self._payloads or vid in self._inflight:
+            if vid in self._payloads or vid in self._flights:
+                continue
+            if vid in self.registry:
+                # staging (or another layer) is already moving these bytes
+                self.stats.deduped += 1
+                self.registry.note_deduped(vid)
                 continue
             self.request(vid, lambda *a: None, prefetch=True)

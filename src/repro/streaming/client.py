@@ -14,13 +14,13 @@ model slower client hardware; 1.0 = this machine).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..lightfield.compression import codec_for_payload
 from ..lightfield.lattice import CameraLattice, ViewSetKey
 from ..lightfield.viewset import ViewSet
 from ..lon.network import Network
+from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
 from .agent import ClientAgent
 from .metrics import AccessRecord, AccessSource, SessionMetrics
@@ -69,6 +69,7 @@ class Client:
         self.queue = queue
         self.network = network
         self.agent = agent
+        self.scheduler = agent.lors.scheduler
         self.lattice = lattice
         self.metrics = metrics
         self.resident_capacity = resident_capacity
@@ -115,6 +116,9 @@ class Client:
         if self.on_cursor is not None:
             self.on_cursor(key)
         if key != self._current:
+            # retarget before the access: stale far-away prefetches yield
+            # their bandwidth to the fetch the user is about to wait on
+            self.agent.retarget(key)
             self._current = key
             self._access(key)
         # Figure 4 policy: when the cursor settles in a quadrant, prefetch
@@ -169,13 +173,15 @@ class Client:
 
         def on_payload(payload: bytes, source: AccessSource,
                        comm_latency: float) -> None:
-            # ship the payload from the agent to the client console
-            self.network.transfer(
+            # ship the payload from the agent to the client console (the
+            # user is waiting: DEMAND class)
+            self.scheduler.submit(
                 self.agent.node,
                 self.node,
                 len(payload),
                 on_complete=lambda fl: finish(payload, source, comm_latency),
                 label=f"to-client:{vid}",
+                priority=Priority.DEMAND,
             )
 
         def finish(payload: bytes, source: AccessSource,

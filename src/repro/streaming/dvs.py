@@ -14,10 +14,9 @@ view-set id space, so lookups are deterministic.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-from ..lightfield.lattice import ViewSetKey
 from ..lon.exnode import ExNode
 
 __all__ = ["DVSResult", "DVSServer"]

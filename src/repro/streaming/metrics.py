@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
+
+from ..lon.scheduler import TransferEvent
 
 __all__ = ["AccessSource", "AccessRecord", "SessionMetrics"]
 
@@ -60,6 +62,33 @@ class SessionMetrics:
     prefetch_used: int = 0
     staged_count: int = 0
     staged_bytes: int = 0
+    scheduling_policy: str = ""
+    transfer_events: List[TransferEvent] = field(default_factory=list)
+    deduped: int = 0                # cross-layer duplicate fetches suppressed
+    promoted_transfers: int = 0     # background transfers promoted to DEMAND
+    cancelled_transfers: int = 0    # transfers cancelled as no longer useful
+
+    def record_transfer_event(self, ev: TransferEvent) -> None:
+        """Scheduler hook: append one transfer lifecycle event."""
+        self.transfer_events.append(ev)
+
+    def transfer_event_counts(self) -> Dict[str, int]:
+        """Lifecycle event totals (queued/admitted/rerated/...)."""
+        counts: Dict[str, int] = {}
+        for ev in self.transfer_events:
+            counts[ev.event] = counts.get(ev.event, 0) + 1
+        return counts
+
+    def transfer_events_for(self, label_prefix: str) -> List[TransferEvent]:
+        """Lifecycle events whose label starts with ``label_prefix``.
+
+        Labels follow the LoRS conventions: ``dl:`` (downloads), ``copy:``
+        (staging), ``ul:`` (uploads), ``gen:`` (runtime generation),
+        ``to-client:`` (agent→console shipment) — so experiments can
+        attribute interference per transfer path.
+        """
+        return [e for e in self.transfer_events
+                if e.label.startswith(label_prefix)]
 
     def record(self, rec: AccessRecord) -> None:
         """Add an access record.
@@ -164,4 +193,8 @@ class SessionMetrics:
                 self.mean_latency(skip=self.initial_phase_length()), 4
             ),
             "staged": self.staged_count,
+            "scheduling": self.scheduling_policy,
+            "deduped": self.deduped,
+            "promoted": self.promoted_transfers,
+            "cancelled": self.cancelled_transfers,
         }

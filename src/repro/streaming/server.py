@@ -16,8 +16,8 @@ Two roles from Section 3.4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..lightfield.lattice import ViewSetKey, parse_viewset_id
 from ..lightfield.source import ViewSetSource
@@ -25,6 +25,7 @@ from ..lon.exnode import ExNode
 from ..lon.ibp import Depot
 from ..lon.lors import LoRS
 from ..lon.network import Network
+from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
 from .dvs import DVSServer
 
@@ -176,15 +177,17 @@ class ServerAgent:
     def _finish_render(self, req: GenerationRequest) -> None:
         payload = self.payload_for(req.vid)
         self.generated += 1
-        # 1. direct copy to the requesting client agent
-        self.network.transfer(
+        # 1. direct copy to the requesting client agent (a user waits on it)
+        self.lors.scheduler.submit(
             self.node,
             req.reply_node,
             len(payload),
             on_complete=lambda fl: req.on_payload(payload),
             label=f"gen:{req.vid}",
+            priority=Priority.DEMAND,
         )
-        # 2. upload to the server depot pool + DVS update
+        # 2. upload to the server depot pool + DVS update; MAINTENANCE class
+        # so database upkeep never crowds out the reply
         up = self.lors.upload(
             req.vid,
             payload,
@@ -194,6 +197,7 @@ class ServerAgent:
             replicas=self.replicas,
             block_size=self.block_size,
             duration=self.lease_duration,
+            priority=Priority.MAINTENANCE,
         )
 
         def register(dfd) -> None:

@@ -17,20 +17,21 @@ bottleneck); three server depots + DVS + server agent at the remote site.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from ..lightfield.source import ViewSetSource
 from ..lon.ibp import Depot
 from ..lon.lbone import LBone
 from ..lon.lors import LoRS
 from ..lon.network import Network, gbps, mbps
+from ..lon.scheduler import SCHEDULING_POLICIES, TransferScheduler
 from ..lon.simtime import EventQueue
 from .agent import ClientAgent
 from .client import Client
 from .dvs import DVSServer
 from .metrics import SessionMetrics
-from .prefetch import PrefetchPolicy, policy_by_name
+from .prefetch import policy_by_name
 from .server import ServerAgent
 from .staging import StagingPump
 from .trace import CursorTrace, standard_trace
@@ -91,9 +92,29 @@ class SessionConfig:
     staging_streams: int = 3
     staging_order: str = "proximity"
 
+    # transfer scheduling (the interference ablation knob):
+    #   "off"      — priority-blind equal sharing (the seed behaviour);
+    #   "weighted" — weighted max-min fair shares by class (DEMAND 8 :
+    #                PREFETCH 2 : STAGING 1 : MAINTENANCE 0.5);
+    #   "strict"   — weighted + background flows sharing a link with a live
+    #                demand flow are paused until it drains.
+    scheduling_policy: str = "weighted"
+    #: cancel in-flight staging copies farther than this grid distance from
+    #: the cursor on a retarget (None = never cancel; progress is kept)
+    staging_cancel_beyond: Optional[int] = None
+    #: cancel in-flight prefetches farther than this grid distance from the
+    #: cursor on a retarget (None = never cancel)
+    prefetch_cancel_beyond: Optional[int] = 2
+    #: record per-transfer lifecycle events on the session metrics
+    record_transfer_events: bool = True
+
     def __post_init__(self) -> None:
         if self.case not in (1, 2, 3):
             raise ValueError("case must be 1, 2 or 3")
+        if self.scheduling_policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"scheduling_policy must be one of {SCHEDULING_POLICIES}"
+            )
 
 
 @dataclass
@@ -148,7 +169,17 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         d = Depot(f"ca-depot-{i}", queue, capacity=config.depot_capacity)
         lbone.register(d, location="california")
         wan_depots.append(d)
-    lors = LoRS(queue, net, lbone)
+    metrics = SessionMetrics(
+        case_name=f"case{config.case}", resolution=source.resolution,
+        scheduling_policy=config.scheduling_policy,
+    )
+    scheduler = TransferScheduler(
+        net,
+        policy=config.scheduling_policy,
+        on_event=(metrics.record_transfer_event
+                  if config.record_transfer_events else None),
+    )
+    lors = LoRS(queue, net, lbone, scheduler=scheduler)
 
     # --- name service + server ------------------------------------------
     dvs = DVSServer(node="dvs")
@@ -168,9 +199,6 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
     server_agent.pre_distribute()
 
     # --- client side ------------------------------------------------------
-    metrics = SessionMetrics(
-        case_name=f"case{config.case}", resolution=source.resolution
-    )
     client_agent = ClientAgent(
         node="agent",
         queue=queue,
@@ -182,6 +210,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         server_agents={"server": server_agent},
         cache_bytes=config.agent_cache_bytes,
         max_streams=config.max_streams,
+        prefetch_cancel_beyond=config.prefetch_cancel_beyond,
     )
     staging: Optional[StagingPump] = None
     if config.case == 3:
@@ -195,6 +224,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
             max_concurrent=config.staging_concurrency,
             streams_per_copy=config.staging_streams,
             order=config.staging_order,
+            cancel_beyond=config.staging_cancel_beyond,
         )
     policy = policy_by_name(config.prefetch_policy)
     client = Client(
@@ -256,4 +286,8 @@ def run_session(
         rig.metrics.staged_bytes = rig.staging.stats.bytes_staged
     rig.queue.run_until(horizon + settle_seconds)
     rig.metrics.prefetch_used = rig.client_agent.stats.prefetch_hits
+    sched = rig.lors.scheduler
+    rig.metrics.deduped = sched.registry.stats.deduped
+    rig.metrics.promoted_transfers = sched.registry.stats.promoted
+    rig.metrics.cancelled_transfers = sched.stats.cancelled
     return rig.metrics

@@ -14,11 +14,11 @@ set is prefetched — the analogue of double-buffering animation frames.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lightfield.lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from ..lightfield.source import ViewSetSource
+from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
 from .agent import ClientAgent
 from .metrics import AccessRecord, AccessSource, SessionMetrics
@@ -259,10 +259,11 @@ class TemporalClient:
 
         def on_payload(payload: bytes, source: AccessSource,
                        comm: float) -> None:
-            self.network.transfer(
+            self.agent.lors.scheduler.submit(
                 self.agent.node, self.node, len(payload),
                 on_complete=lambda fl: complete(payload, source, comm),
                 label=f"to-client:{vid}",
+                priority=Priority.DEMAND,
             )
 
         def complete(payload: bytes, source: AccessSource,

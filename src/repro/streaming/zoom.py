@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from ..lightfield.lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from ..lightfield.source import ViewSetSource

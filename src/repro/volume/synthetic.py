@@ -15,7 +15,7 @@ the ablation benchmarks.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

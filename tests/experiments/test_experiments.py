@@ -1,6 +1,5 @@
 """Tests for the experiment drivers and reporting utilities."""
 
-import os
 
 import pytest
 

@@ -1,6 +1,5 @@
 """CLI end-to-end tests (in-process via cli.main)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

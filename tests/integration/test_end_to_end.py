@@ -6,7 +6,6 @@ placement → DVS → session trace → client residency → light field synthes
 → comparison against ground-truth ray casting.
 """
 
-import numpy as np
 import pytest
 
 from repro.lightfield.build import LightFieldBuilder

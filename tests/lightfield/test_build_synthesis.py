@@ -12,7 +12,6 @@ import pytest
 from repro.lightfield.build import LightFieldBuilder
 from repro.lightfield.database import DatabaseError, LightFieldDatabase
 from repro.lightfield.lattice import CameraLattice
-from repro.lightfield.sphere import TwoSphere
 from repro.lightfield.synthesis import DictProvider, LightFieldSynthesizer
 from repro.render.camera import Camera, orbit_camera
 from repro.render.image import rmse

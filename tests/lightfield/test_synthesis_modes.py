@@ -1,6 +1,5 @@
 """Tests for synthesizer interpolation modes and atlas caching."""
 
-import numpy as np
 import pytest
 
 from repro.lightfield.build import LightFieldBuilder

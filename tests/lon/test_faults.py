@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.lon.exnode import ExNode
 from repro.lon.faults import DepotOutage, FlakyLinks, LeaseStorm
 from repro.lon.ibp import Depot, IBPRefusedError
 from repro.lon.lbone import LBone
-from repro.lon.lors import LoRS, LoRSError
+from repro.lon.lors import LoRS
 from repro.lon.network import Network, mbps
 from repro.lon.simtime import EventQueue
 

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.lon.exnode import ExNode
-from repro.lon.ibp import Depot, IBPRefusedError
+from repro.lon.ibp import Depot
 from repro.lon.lbone import LBone, LBoneError
 from repro.lon.lors import Deferred, LoRS, LoRSError
-from repro.lon.network import Network, build_dumbbell, gbps, mbps
+from repro.lon.network import build_dumbbell, gbps
 from repro.lon.simtime import EventQueue
 
 

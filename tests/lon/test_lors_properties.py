@@ -1,7 +1,6 @@
 """Property tests: LoRS placement/download invariants over random inputs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -238,3 +238,95 @@ class TestDumbbell:
         assert lan_lat < 0.001
         assert 0.01 < wan_lat < 0.1
         assert wan_lat / lan_lat > 50
+
+
+class TestCancellation:
+    """Mid-transfer cancellation must re-rate and reschedule survivors."""
+
+    def test_mid_transfer_cancel_rerates_survivors(self):
+        q, net = simple_net()
+        times = {}
+        size = int(mbps(100))
+        victim = net.transfer("a", "c", size,
+                              lambda f: times.setdefault("v", q.now))
+        net.transfer("a", "c", size, lambda f: times.setdefault("w", q.now))
+        q.schedule(1.0, lambda: net.cancel_flow(victim))
+        q.run()
+        # survivor: 1 s at half rate + 0.5 s at full rate + 30 ms propagation
+        assert "v" not in times
+        assert times["w"] == pytest.approx(1.5 + 0.03, rel=1e-3)
+        assert victim not in net.active_flows
+
+    def test_cancel_completed_flow_is_noop(self):
+        q, net = simple_net()
+        done = []
+        flow = net.transfer("a", "c", 1000, lambda f: done.append(q.now))
+        q.run()
+        assert len(done) == 1
+        net.cancel_flow(flow)  # must not raise or un-complete
+        assert flow.done
+        assert len(done) == 1
+
+    def test_cancel_during_propagation_tail_suppresses_delivery(self):
+        q, net = simple_net()
+        done = []
+        size = int(mbps(100))
+        flow = net.transfer("a", "c", size, lambda f: done.append(q.now))
+        # drained at t=1.0, delivered at t=1.03: cancel in between
+        q.schedule(1.01, lambda: net.cancel_flow(flow))
+        q.run()
+        assert done == []
+        assert not flow.done
+
+
+class TestWeightsAndPreemption:
+    def test_weighted_flows_split_by_weight(self):
+        q, net = simple_net()
+        times = {}
+        size = int(mbps(100))
+        net.transfer("a", "c", size, lambda f: times.setdefault("h", q.now),
+                     weight=3.0)
+        net.transfer("a", "c", size, lambda f: times.setdefault("l", q.now),
+                     weight=1.0)
+        q.run()
+        # heavy gets 3/4 of the link -> drains at 4/3 s; light drained 1/3
+        # of its bytes by then and finishes the rest at full rate
+        assert times["h"] == pytest.approx(4 / 3 + 0.03, rel=1e-3)
+        assert times["l"] == pytest.approx(4 / 3 + 2 / 3 + 0.03, rel=1e-3)
+
+    def test_set_flow_weight_rerates_mid_transfer(self):
+        q, net = simple_net()
+        times = {}
+        size = int(mbps(100))
+        f1 = net.transfer("a", "c", size,
+                          lambda f: times.setdefault("f1", q.now))
+        net.transfer("a", "c", size, lambda f: times.setdefault("f2", q.now))
+        # equal halves until t=1 (each 50% done), then f1 gets 3/4
+        q.schedule(1.0, lambda: net.set_flow_weight(f1, 3.0))
+        q.run()
+        assert times["f1"] == pytest.approx(1.0 + 2 / 3 + 0.03, rel=1e-3)
+
+    def test_pause_and_resume_keeps_progress(self):
+        q, net = simple_net()
+        times = {}
+        size = int(mbps(100))
+        bg = net.transfer("a", "c", size,
+                          lambda f: times.setdefault("bg", q.now))
+        q.schedule(0.5, lambda: net.pause_flow(bg))
+        q.schedule(1.5, lambda: net.resume_flow(bg))
+        q.run()
+        # 0.5 s progress kept across a 1 s pause: drains at 2.0 s
+        assert times["bg"] == pytest.approx(2.0 + 0.03, rel=1e-3)
+
+    def test_paused_flow_releases_bandwidth_to_survivors(self):
+        q, net = simple_net()
+        times = {}
+        size = int(mbps(100))
+        bg = net.transfer("a", "c", size,
+                          lambda f: times.setdefault("bg", q.now))
+        net.transfer("a", "c", size, lambda f: times.setdefault("fg", q.now))
+        net.pause_flow(bg)
+        q.run()
+        # foreground runs alone at full rate; background never resumes
+        assert times["fg"] == pytest.approx(1.0 + 0.03, rel=1e-3)
+        assert "bg" not in times

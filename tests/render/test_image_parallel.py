@@ -16,7 +16,7 @@ from repro.render.image import (
     to_uint8,
 )
 from repro.render.parallel import ParallelRenderer, default_worker_count
-from repro.render.raycast import RaycastRenderer, RenderSettings
+from repro.render.raycast import RaycastRenderer
 from repro.volume.synthetic import neg_hip
 from repro.volume.transfer import preset
 

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.lightfield.lattice import CameraLattice
 from repro.streaming.metrics import AccessRecord, AccessSource, SessionMetrics

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.volume.accel import ActiveCells, MacrocellGrid, _dilate26
+from repro.volume.accel import MacrocellGrid, _dilate26
 from repro.volume.grid import VolumeGrid
 from repro.volume.synthetic import neg_hip
 from repro.volume.transfer import TransferFunction, preset
