@@ -11,6 +11,10 @@ Arms: staging off entirely (case 2), then aggressive staging (case 3)
 under scheduling policies off / weighted / strict.  The headline metric is
 **demand-miss latency** — mean client latency over accesses not served
 from the agent cache or the client-resident set.
+
+Set ``REPRO_TRACE_OUT=/path/out.json`` to additionally run one traced
+case-3 session and save its Chrome/Perfetto trace there (CI uploads it as
+an artifact).
 """
 
 import os
@@ -22,6 +26,7 @@ from repro.experiments import (
 )
 
 _SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+_TRACE_OUT = os.environ.get("REPRO_TRACE_OUT")
 
 
 def test_scheduling_policies(benchmark, suite, report, bench_json):
@@ -78,3 +83,13 @@ def test_scheduling_policies(benchmark, suite, report, bench_json):
     benchmark.pedantic(
         lambda: ablation_scheduling(suite, res), rounds=1, iterations=1
     )
+
+    if _TRACE_OUT:
+        from repro.obs import write_chrome_trace
+
+        m = suite.run(3, res, tracing=True)
+        n = write_chrome_trace(
+            m.tracer, _TRACE_OUT,
+            metrics_snapshot=m.obs.snapshot() if m.obs else None,
+        )
+        print(f"wrote {n} trace events -> {_TRACE_OUT}")

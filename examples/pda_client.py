@@ -15,13 +15,18 @@ This example:
    the paper's claim that the QGR with a LAN depot is far faster than
    direct WAN streaming.
 
-Run:  python examples/pda_client.py [--resolution 200]
+Run:  python examples/pda_client.py [--resolution 200] [--trace out.json]
+
+With ``--trace`` the device-class sessions run traced and each saves a
+Chrome/Perfetto trace (render with ``python -m repro trace-report``).
 """
 
 import argparse
+from pathlib import Path
 
 from repro.experiments import format_table
 from repro.lightfield import CameraLattice, SyntheticSource
+from repro.obs import write_chrome_trace
 from repro.streaming import SessionConfig, run_session, standard_trace
 
 
@@ -56,6 +61,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--resolution", type=int, default=200)
     parser.add_argument("--accesses", type=int, default=30)
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="save a Chrome/Perfetto trace per device class "
+             "(out.json -> out-pda.json, out-laptop.json, ...)",
+    )
     args = parser.parse_args()
 
     lattice = CameraLattice(n_theta=36, n_phi=72, l=6)
@@ -71,8 +81,16 @@ def main() -> None:
         m = run_session(
             source,
             SessionConfig(case=3, n_accesses=args.accesses,
-                          resident_capacity=capacity, cpu_scale=cpu_scale),
+                          resident_capacity=capacity, cpu_scale=cpu_scale,
+                          tracing=args.trace is not None),
         )
+        if args.trace is not None and m.tracer is not None:
+            out = args.trace.with_name(
+                f"{args.trace.stem}-{name.lower()}"
+                f"{args.trace.suffix or '.json'}"
+            )
+            n = write_chrome_trace(m.tracer, out)
+            print(f"{name}: {n} trace events -> {out}")
         rows.append([
             name, capacity, cpu_scale, m.hit_rate(), m.mean_latency(),
         ])

@@ -10,14 +10,20 @@ accesses, and the per-access latency is reported for
   Case 3 — Case 2 plus aggressive two-stage prestaging to a LAN depot.
 
 Run:  python examples/remote_session.py [--resolution 200] [--accesses 58]
-      [--scheduling off|weighted|strict]
+      [--scheduling off|weighted|strict] [--trace out.json]
+
+With ``--trace`` the session runs with end-to-end tracing on and saves a
+Chrome trace (load it in Perfetto / chrome://tracing, or render it with
+``python -m repro trace-report out-case3.json``).
 """
 
 import argparse
+from pathlib import Path
 
 from repro.experiments import format_series, format_table
 from repro.lightfield import CameraLattice, SyntheticSource
 from repro.lon import SCHEDULING_POLICIES
+from repro.obs import write_chrome_trace
 from repro.streaming import SessionConfig, run_session
 
 
@@ -38,6 +44,11 @@ def main() -> None:
              "sharing, weighted = per-class max-min weights, strict = "
              "demand preemption (pause background flows)",
     )
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="save a Chrome/Perfetto trace per case "
+             "(out.json -> out-case1.json, out-case2.json, ...)",
+    )
     args = parser.parse_args()
     nt, np_, l = (int(x) for x in args.lattice.split("x"))
     lattice = CameraLattice(n_theta=nt, n_phi=np_, l=l)
@@ -55,8 +66,20 @@ def main() -> None:
             source,
             SessionConfig(case=case, n_accesses=args.accesses,
                           trace_seed=args.seed,
-                          scheduling_policy=args.scheduling),
+                          scheduling_policy=args.scheduling,
+                          tracing=args.trace is not None),
         )
+        if args.trace is not None and metrics.tracer is not None:
+            out = args.trace.with_name(
+                f"{args.trace.stem}-case{case}"
+                f"{args.trace.suffix or '.json'}"
+            )
+            n = write_chrome_trace(
+                metrics.tracer, out,
+                metrics_snapshot=(metrics.obs.snapshot()
+                                  if metrics.obs else None),
+            )
+            print(f"case {case}: {n} trace events -> {out}\n")
         s = metrics.summary()
         rows.append([
             f"case {case}", s["accesses"], s["hit_rate"], s["wan_rate"],

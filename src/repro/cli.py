@@ -8,7 +8,9 @@ Usage (``python -m repro <command>``):
   at your scale);
 * ``render``   — synthesize a novel view from a saved database into a PPM;
 * ``session``  — run a streaming Case 1/2/3 experiment and print the
-  summary table.
+  summary table (``--trace out.json`` saves a Chrome/Perfetto trace);
+* ``trace-report`` — per-access waterfall + per-stage latency table from a
+  saved trace file.
 """
 
 from __future__ import annotations
@@ -130,27 +132,48 @@ def cmd_render(args) -> int:
 def cmd_session(args) -> int:
     from .experiments import format_table
     from .lightfield import SyntheticSource
+    from .obs import write_chrome_trace
     from .streaming import SessionConfig, run_session
 
     lattice = _lattice_from_args(args)
     source = SyntheticSource(lattice, resolution=args.resolution)
     rows = []
     cases = [int(c) for c in args.cases.split(",")]
+    tracing = args.trace is not None
     for case in cases:
         m = run_session(
             source,
             SessionConfig(case=case, n_accesses=args.accesses,
-                          trace_seed=args.seed),
+                          trace_seed=args.seed, tracing=tracing),
         )
         s = m.summary()
         rows.append([f"case {case}", s["accesses"], s["hit_rate"],
                      s["wan_rate"], s["initial_phase"], s["mean_latency_s"],
                      s["steady_latency_s"]])
+        if tracing and m.tracer is not None:
+            out = args.trace
+            if len(cases) > 1:
+                out = out.with_name(
+                    f"{out.stem}-case{case}{out.suffix or '.json'}"
+                )
+            n = write_chrome_trace(
+                m.tracer, out,
+                metrics_snapshot=m.obs.snapshot() if m.obs else None,
+            )
+            print(f"case {case}: wrote {n} trace events -> {out}")
     print(format_table(
         headers=["case", "accesses", "hit rate", "wan rate",
                  "initial phase", "mean s", "steady s"],
         rows=rows,
     ))
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    from .obs import trace_report
+
+    print(trace_report(str(args.trace), max_accesses=args.accesses,
+                       waterfall=not args.no_waterfall))
     return 0
 
 
@@ -205,7 +228,21 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--accesses", type=int, default=20)
     s.add_argument("--seed", type=int, default=7)
     s.add_argument("--lattice", default="12x24x3")
+    s.add_argument("--trace", type=Path, default=None,
+                   help="run with tracing on and save a Chrome trace JSON "
+                        "(per-case suffix added when multiple cases run)")
     s.set_defaults(func=cmd_session)
+
+    t = sub.add_parser(
+        "trace-report",
+        help="render a saved trace as waterfall + stage-latency tables",
+    )
+    t.add_argument("trace", type=Path, help="Chrome trace JSON or JSONL")
+    t.add_argument("--accesses", type=int, default=10,
+                   help="waterfall rows to show (use a big number for all)")
+    t.add_argument("--no-waterfall", action="store_true",
+                   help="print only the per-stage breakdown table")
+    t.set_defaults(func=cmd_trace_report)
     return parser
 
 

@@ -21,6 +21,7 @@ from .runners import (
     access_rate_stats,
     fig07_database_size,
     demand_miss_latency,
+    observability_overhead,
     qgr_sweep,
     text_fps,
     text_generation_time,
@@ -44,6 +45,7 @@ __all__ = [
     "fig07_database_size",
     "format_series",
     "format_table",
+    "observability_overhead",
     "qgr_sweep",
     "scale_name",
     "text_fps",

@@ -42,6 +42,7 @@ __all__ = [
     "ablation_codec",
     "ablation_viewset_size",
     "ablation_agent_cache",
+    "observability_overhead",
 ]
 
 #: the paper's full lattice, used to extrapolate totals
@@ -497,6 +498,54 @@ def ablation_scheduling(
             "cancelled": m.cancelled_transfers,
         })
     return rows
+
+
+def observability_overhead(
+    resolution: int = 64,
+    case: int = 3,
+    n_accesses: int = 30,
+    lattice: Optional[CameraLattice] = None,
+    repeats: int = 3,
+) -> dict:
+    """Wall-clock cost of the tracing layer, on vs off.
+
+    Runs the identical session ``repeats`` times untraced and traced and
+    reports the best (min) wall time of each — min, not mean, because the
+    question is intrinsic cost, and scheduler noise only ever adds time.
+    The disabled-tracer budget in DESIGN.md §9 expects the untraced run to
+    sit within a few percent of the pre-instrumentation baseline; the
+    traced ratio quantifies what turning it on buys you into.
+    """
+    lat = lattice if lattice is not None else CameraLattice(12, 24, 3)
+    source = SyntheticSource(lat, resolution=resolution)
+    source.payload((lat.n_theta // lat.l // 2, 0))  # warm the payload cache
+
+    def run_once(tracing: bool) -> Tuple[float, SessionMetrics]:
+        cfg = SessionConfig(case=case, n_accesses=n_accesses,
+                            tracing=tracing)
+        t0 = time.perf_counter()
+        m = run_session(source, cfg)
+        return time.perf_counter() - t0, m
+
+    untraced = min(run_once(False)[0] for _ in range(repeats))
+    traced_times = []
+    traced_metrics: Optional[SessionMetrics] = None
+    for _ in range(repeats):
+        dt, m = run_once(True)
+        traced_times.append(dt)
+        traced_metrics = m
+    traced = min(traced_times)
+    spans = (len(traced_metrics.tracer.spans)
+             if traced_metrics and traced_metrics.tracer else 0)
+    return {
+        "resolution": resolution,
+        "case": case,
+        "accesses": n_accesses,
+        "untraced_s": untraced,
+        "traced_s": traced,
+        "ratio": traced / untraced if untraced > 0 else 0.0,
+        "spans": spans,
+    }
 
 
 def ablation_viewset_size(

@@ -139,6 +139,7 @@ class DepotStats:
     expired: int = 0
     bytes_stored: int = 0
     bytes_loaded: int = 0
+    bytes_copied: int = 0  # bytes sourced for third-party copies
 
 
 class Depot:
@@ -327,6 +328,7 @@ class Depot:
         chunk = bytes(alloc.data[offset:offset + length])
         if len(chunk) < length:
             chunk += b"\x00" * (length - len(chunk))
+        self.stats.bytes_copied += len(chunk)
         return chunk
 
     def manage_probe(self, cap: Capability) -> Dict[str, object]:

@@ -128,6 +128,7 @@ class DownloadJob:
         deferred: Deferred,
         priority: Priority = Priority.DEMAND,
         token: Optional[CancelToken] = None,
+        span: object = None,
     ) -> None:
         self.lors = lors
         self.exnode = exnode
@@ -136,6 +137,9 @@ class DownloadJob:
         self.deferred = deferred
         self.priority = Priority(priority)
         self.token = token if token is not None else CancelToken()
+        self.span = span  # parent span for every block-fetch flow
+        #: sim time the first block flow was admitted (queue-wait boundary)
+        self.t_first_flow: Optional[float] = None
         self.buffer = bytearray(exnode.length)
         self._pending: List[_BlockFetch] = []
         self._inflight = 0
@@ -260,7 +264,10 @@ class DownloadJob:
                     label=f"dl:{self.exnode.name}:{m.extent.offset}",
                     priority=self.priority,
                     token=self.token,
+                    span=self.span,
                 )
+                if self.t_first_flow is None:
+                    self.t_first_flow = self.lors.queue.now
             except NetworkError as exc:
                 # the depot was partitioned between request and response
                 self._inflight -= 1
@@ -329,6 +336,7 @@ class CopyJob:
         max_streams: int = 4,
         priority: Priority = Priority.STAGING,
         token: Optional[CancelToken] = None,
+        span: object = None,
     ) -> None:
         self.lors = lors
         self.exnode = exnode
@@ -339,6 +347,7 @@ class CopyJob:
         self.max_streams = max(1, max_streams)
         self.priority = Priority(priority)
         self.token = token if token is not None else CancelToken()
+        self.span = span  # parent span for every block-copy flow
         self.new_mappings: List[Mapping] = []
         self._remaining = 0
         self._failed = False
@@ -441,6 +450,7 @@ class CopyJob:
                 label=f"copy:{self.exnode.name}:{m.extent.offset}",
                 priority=self.priority,
                 token=self.token,
+                span=self.span,
             )
         except NetworkError as exc:
             self._block_copy_failed(m, alternates, exc)
@@ -566,6 +576,7 @@ class LoRS:
         soft: bool = False,
         priority: Priority = Priority.MAINTENANCE,
         token: Optional[CancelToken] = None,
+        span: object = None,
     ) -> Deferred:
         """Asynchronous upload from ``source``: place + pay for the flows.
 
@@ -609,6 +620,7 @@ class LoRS:
                 label=f"ul:{name}:{m.extent.offset}",
                 priority=priority,
                 token=token,
+                span=span,
             )
         return deferred
 
@@ -619,16 +631,18 @@ class LoRS:
         max_streams: int = 8,
         priority: Priority = Priority.DEMAND,
         token: Optional[CancelToken] = None,
+        span: object = None,
     ) -> Deferred:
         """Fetch a whole exNode to node ``dest``; resolves with ``bytes``.
 
         ``priority`` sets the scheduling class of every block flow (DEMAND
         for a waiting user, PREFETCH for speculative warm-up); the returned
         deferred's ``job`` can be promoted mid-flight via ``job.promote``.
+        ``span`` (optional) parents every block-fetch transfer span.
         """
         deferred = Deferred()
         job = DownloadJob(self, exnode, dest, max_streams, deferred,
-                          priority=priority, token=token)
+                          priority=priority, token=token, span=span)
         deferred.job = job  # type: ignore[attr-defined]
         job.start()
         return deferred
@@ -642,6 +656,7 @@ class LoRS:
         max_streams: int = 4,
         priority: Priority = Priority.STAGING,
         token: Optional[CancelToken] = None,
+        span: object = None,
     ) -> Deferred:
         """Third-party copy onto ``target``; resolves with new mappings.
 
@@ -653,7 +668,8 @@ class LoRS:
         """
         deferred = Deferred()
         job = CopyJob(self, exnode, target, duration, soft, deferred,
-                      max_streams=max_streams, priority=priority, token=token)
+                      max_streams=max_streams, priority=priority, token=token,
+                      span=span)
         deferred.job = job  # type: ignore[attr-defined]
         job.start()
         return deferred

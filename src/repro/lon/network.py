@@ -237,6 +237,27 @@ class Network:
             return self.RPC_OVERHEAD
         return 2.0 * self.path_latency(src, dst) + self.RPC_OVERHEAD
 
+    def link_utilization(self) -> Dict[Tuple[str, str], float]:
+        """Instantaneous utilization (allocated rate / capacity) per link.
+
+        Paused flows and flows in their propagation tail consume no
+        bandwidth; a downed link reads 0.  Values are clamped to [0, 1]
+        (transient float excess from water-filling rounds down).
+        """
+        load: Dict[FrozenSet[str], float] = {}
+        for f in self._flows:
+            if f.paused or f.drained_at is not None or f.rate <= 0:
+                continue
+            if f.rate == float("inf"):
+                continue  # unconstrained: no capacity-limited link en route
+            for lk in f.path_links:
+                load[lk] = load.get(lk, 0.0) + f.rate
+        out: Dict[Tuple[str, str], float] = {}
+        for key, link in self._links.items():
+            util = load.get(key, 0.0) / link.bandwidth if link.up else 0.0
+            out[(link.a, link.b)] = min(1.0, util)
+        return out
+
     # ------------------------------------------------------------------
     # flows
     # ------------------------------------------------------------------

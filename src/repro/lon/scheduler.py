@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable, Dict, List, Optional, Set
 
+from ..obs.tracer import NOOP_SPAN, NULL_TRACER, Tracer
 from .network import Flow, Network
 
 __all__ = [
@@ -117,6 +118,9 @@ class TransferEvent:
     event: str           # queued|admitted|rerated|paused|resumed|promoted|
     #                      completed|cancelled|failed
     detail: str = ""
+    #: id of the span owning this transfer (None when tracing is off), so
+    #: dedup/promotion can be read inside the demand trace that benefited
+    span_id: Optional[int] = None
 
 
 @dataclass
@@ -149,6 +153,7 @@ class TransferHandle:
         self.token = token
         self.flow: Optional[Flow] = None
         self.state = "queued"  # queued|active|completed|cancelled|failed
+        self.span = NOOP_SPAN  # per-transfer span (real when tracing is on)
 
     @property
     def done(self) -> bool:
@@ -174,6 +179,8 @@ class InFlightEntry:
     promote_cb: Optional[Callable[[Priority], None]] = None
     cancel_cb: Optional[Callable[[], None]] = None
     subscribers: List[Callable[[bool], None]] = field(default_factory=list)
+    #: span of the layer moving the bytes; dedup/promotion events land here
+    span: object = NOOP_SPAN
 
 
 @dataclass
@@ -216,6 +223,7 @@ class InFlightRegistry:
         priority: Priority,
         promote_cb: Optional[Callable[[Priority], None]] = None,
         cancel_cb: Optional[Callable[[], None]] = None,
+        span: object = NOOP_SPAN,
     ) -> InFlightEntry:
         """Claim ``key``; raises if another layer already holds it."""
         if key in self._entries:
@@ -223,6 +231,7 @@ class InFlightRegistry:
         entry = InFlightEntry(
             key=key, kind=kind, priority=priority,
             promote_cb=promote_cb, cancel_cb=cancel_cb,
+            span=span if span is not None else NOOP_SPAN,
         )
         self._entries[key] = entry
         self.stats.registered += 1
@@ -231,6 +240,9 @@ class InFlightRegistry:
     def note_deduped(self, key: str) -> None:
         """Record that a duplicate fetch of ``key`` was suppressed."""
         self.stats.deduped += 1
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.span.event("deduped", key=key)
 
     def promote(self, key: str, priority: Priority) -> bool:
         """Raise the urgency of an in-flight entry (e.g. to DEMAND)."""
@@ -239,6 +251,7 @@ class InFlightRegistry:
             return False
         entry.priority = priority
         self.stats.promoted += 1
+        entry.span.event("promoted", priority=Priority(priority).name)
         if entry.promote_cb is not None:
             entry.promote_cb(priority)
         return True
@@ -292,6 +305,10 @@ class TransferScheduler:
         Optional per-:class:`Priority` weight overrides.
     on_event:
         Optional ``callback(TransferEvent)`` receiving lifecycle events.
+    tracer:
+        Observability tracer; per-transfer spans are opened under the parent
+        span passed to :meth:`submit`.  Defaults to the shared disabled
+        tracer (no spans, negligible overhead).
     """
 
     def __init__(
@@ -300,6 +317,7 @@ class TransferScheduler:
         policy: str = "weighted",
         weights: Optional[Dict[Priority, float]] = None,
         on_event: Optional[Callable[[TransferEvent], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if policy not in SCHEDULING_POLICIES:
             raise ValueError(
@@ -315,6 +333,7 @@ class TransferScheduler:
             if w <= 0:
                 raise ValueError(f"weight for {prio!r} must be positive")
         self.on_event = on_event
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = InFlightRegistry()
         self.stats = SchedulerStats()
         self._active: List[TransferHandle] = []
@@ -342,6 +361,7 @@ class TransferScheduler:
         label: str = "",
         priority: Priority = Priority.DEMAND,
         token: Optional[CancelToken] = None,
+        span: object = None,
     ) -> TransferHandle:
         """Admit one transfer at a priority class.
 
@@ -349,14 +369,22 @@ class TransferScheduler:
         immediately, callbacks fire at simulated delivery time) with the
         flow's bandwidth share governed by the scheduling policy.  A tripped
         ``token`` yields an already-cancelled handle whose callbacks never
-        fire.
+        fire.  ``span`` (optional) becomes the parent of this transfer's own
+        span, linking the flow into the request trace that caused it.
         """
         priority = Priority(priority)
         handle = TransferHandle(self, priority, label, token)
+        handle.span = self.tracer.begin(
+            f"xfer:{label}" if label else "xfer",
+            parent=span,
+            category="transfer",
+            src=src, dst=dst, bytes=size, priority=priority.name,
+        )
         self._emit("queued", handle)
         if token is not None and token.cancelled:
             handle.state = "cancelled"
             self._emit("cancelled", handle, detail="token tripped")
+            handle.span.finish(state="cancelled")
             return handle
         self.stats.submitted += 1
 
@@ -423,6 +451,7 @@ class TransferScheduler:
             self.network.set_flow_weight(
                 handle.flow, self.weight_for(priority)
             )
+        handle.span.annotate(priority=priority.name)
         self._emit("promoted", handle, detail=priority.name)
         if self.policy == "strict":
             self._apply_strict()
@@ -434,6 +463,7 @@ class TransferScheduler:
         if handle in self._active:
             self._active.remove(handle)
         self._emit(event, handle, detail=detail)
+        handle.span.finish(state=handle.state)
         if self.policy == "strict":
             self._apply_strict()
 
@@ -474,6 +504,10 @@ class TransferScheduler:
 
     def _emit(self, event: str, handle: TransferHandle,
               detail: str = "") -> None:
+        # span events are kept distinct from the open/close pair; "queued"
+        # and the terminal event already bound the span itself
+        if event not in ("queued", "completed", "cancelled", "failed"):
+            handle.span.event(event, detail=detail)
         if self.on_event is None:
             return
         self.on_event(TransferEvent(
@@ -482,4 +516,5 @@ class TransferScheduler:
             priority=handle.priority.name,
             event=event,
             detail=detail,
+            span_id=handle.span.span_id,
         ))

@@ -1,0 +1,66 @@
+"""repro.obs — sim-time-aware observability for the streaming pipeline.
+
+The paper's evaluation is a latency-attribution exercise (Figures 9-12):
+every claim is about *where* a view-set access's wait went.  This package
+supplies the machinery to record and read that attribution:
+
+* :mod:`~repro.obs.tracer` — hierarchical spans over simulated time, with a
+  free no-op mode so instrumentation can stay in hot paths;
+* :mod:`~repro.obs.metrics` — counters, gauges and log-scale histograms
+  (fixed-ratio buckets spanning the four latency decades);
+* :mod:`~repro.obs.samplers` — periodic probes of link utilization, depot
+  service, scheduler class occupancy and cache fill;
+* :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  NetLogger-style JSONL writers, plus a loader for both;
+* :mod:`~repro.obs.report` — the ``trace-report`` CLI's waterfall and
+  per-stage breakdown tables.
+"""
+
+from .export import (
+    chrome_trace_events,
+    load_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Gauge, LogHistogram, MetricsRegistry
+from .report import (
+    render_breakdown_table,
+    render_waterfall,
+    stage_breakdown,
+    trace_report,
+)
+from .samplers import (
+    CacheSampler,
+    DepotSampler,
+    LinkUtilizationSampler,
+    PeriodicSampler,
+    SchedulerOccupancySampler,
+    standard_samplers,
+)
+from .tracer import NOOP_SPAN, NULL_TRACER, NoopSpan, Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Gauge",
+    "LogHistogram",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "LinkUtilizationSampler",
+    "DepotSampler",
+    "SchedulerOccupancySampler",
+    "CacheSampler",
+    "standard_samplers",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_trace",
+    "stage_breakdown",
+    "render_breakdown_table",
+    "render_waterfall",
+    "trace_report",
+]

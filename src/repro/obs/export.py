@@ -1,0 +1,308 @@
+"""Trace exporters and loaders.
+
+Two output formats, both built from :meth:`Tracer.span_dicts`:
+
+* **Chrome ``trace_event`` JSON** — loadable in Perfetto / ``chrome://tracing``.
+  Each trace tree (root span) gets its own track (``tid``), grouped into
+  processes (``pid``) by root category: demand accesses, prefetch flights,
+  staging pipelines and ungrouped transfers each render as separate
+  process lanes, with sampler series as counter tracks.  Span/trace ids are
+  embedded in ``args`` so a saved file round-trips through
+  :func:`load_trace` back into span dicts for ``trace-report``.
+* **NetLogger-style JSONL** — one JSON object per line with ``ts``/
+  ``event``/``lvl`` fields in the spirit of the NetLogger best-practice
+  logs the paper's lineage used: every span emits a ``<name>.start`` and
+  ``<name>.end`` pair, instants and counter samples one line each.
+
+Sim-time seconds are stored as microseconds in Chrome ``ts``/``dur`` fields
+(the format's native unit).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Union
+
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_trace",
+]
+
+_US = 1e6  # seconds -> microseconds
+
+# pid lanes: category of the *root* span decides the process a tree lands in
+_PID_BY_CATEGORY = {
+    "access": (1, "demand accesses"),
+    "prefetch": (2, "prefetch"),
+    "staging": (3, "staging"),
+}
+_PID_OTHER = (4, "transfers")
+_PID_COUNTERS = (5, "samplers")
+
+SpanDict = Dict[str, object]
+
+
+def _span_sort_key(span: SpanDict):
+    return (span["start"], span["span_id"])
+
+
+def chrome_trace_events(
+    spans: Iterable[SpanDict],
+    counters: Iterable[Dict[str, object]] = (),
+    instants: Iterable[Dict[str, object]] = (),
+) -> List[Dict[str, object]]:
+    """Build the ``traceEvents`` list from span/counter/instant dicts."""
+    spans = sorted(spans, key=_span_sort_key)
+
+    # Assign each trace tree a (pid, tid) track keyed by its root span.
+    track: Dict[int, tuple] = {}  # trace_id -> (pid, tid, label)
+    pids_seen: Dict[int, str] = {}
+    next_tid: Dict[int, int] = {}
+    for span in spans:
+        if span["parent_id"] is not None:
+            continue
+        cat = str(span.get("cat") or "")
+        pid, pid_label = _PID_BY_CATEGORY.get(cat, _PID_OTHER)
+        pids_seen.setdefault(pid, pid_label)
+        tid = next_tid.get(pid, 1)
+        next_tid[pid] = tid + 1
+        track[span["trace_id"]] = (pid, tid, str(span["name"]))
+
+    events: List[Dict[str, object]] = []
+    for pid, label in sorted(pids_seen.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for trace_id, (pid, tid, label) in track.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+
+    for span in spans:
+        # orphan children whose root is missing park on tid 0
+        pid, tid, _ = track.get(span["trace_id"], (_PID_OTHER[0], 0, ""))
+        start = float(span["start"])
+        end = float(span["end"])
+        args: Dict[str, object] = {
+            "span_id": span["span_id"],
+            "trace_id": span["trace_id"],
+            "parent_id": span["parent_id"],
+        }
+        attrs = span.get("attrs") or {}
+        args.update(attrs)
+        events.append({
+            "name": span["name"],
+            "cat": span.get("cat") or "span",
+            "ph": "X",
+            "ts": start * _US,
+            "dur": max(0.0, end - start) * _US,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+        for ev in span.get("events") or ():
+            ev_args = {k: v for k, v in ev.items() if k not in ("name", "t")}
+            ev_args["span_id"] = span["span_id"]
+            events.append({
+                "name": ev["name"],
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "ts": float(ev["t"]) * _US,
+                "pid": pid,
+                "tid": tid,
+                "args": ev_args,
+            })
+
+    cpid, clabel = _PID_COUNTERS
+    any_counter = False
+    for sample in counters:
+        any_counter = True
+        events.append({
+            "name": sample["name"],
+            "cat": "counter",
+            "ph": "C",
+            "ts": float(sample["t"]) * _US,
+            "pid": cpid,
+            "tid": 0,
+            "args": {"value": sample["value"]},
+        })
+    if any_counter:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": cpid, "tid": 0,
+            "args": {"name": clabel},
+        })
+
+    for ev in instants:
+        ev_args = {k: v for k, v in ev.items() if k not in ("name", "t")}
+        events.append({
+            "name": ev["name"],
+            "cat": "instant",
+            "ph": "i",
+            "s": "g",
+            "ts": float(ev["t"]) * _US,
+            "pid": _PID_OTHER[0],
+            "tid": 0,
+            "args": ev_args,
+        })
+    return events
+
+
+def write_chrome_trace(
+    tracer_or_spans: Union[Tracer, Iterable[SpanDict]],
+    path_or_file: Union[str, IO[str]],
+    metrics_snapshot: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write a Chrome/Perfetto trace file; returns the event count."""
+    if isinstance(tracer_or_spans, Tracer):
+        spans = tracer_or_spans.span_dicts()
+        counters = tracer_or_spans.counters
+        instants = tracer_or_spans.instants
+    else:
+        spans = list(tracer_or_spans)
+        counters = []
+        instants = []
+    events = chrome_trace_events(spans, counters, instants)
+    doc: Dict[str, object] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "sim-seconds", "format": "repro.obs/1"},
+    }
+    if metrics_snapshot is not None:
+        doc["otherData"]["metrics"] = metrics_snapshot
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    return len(events)
+
+
+def write_jsonl(
+    tracer: Tracer,
+    path_or_file: Union[str, IO[str]],
+) -> int:
+    """Write a NetLogger-style JSONL event log; returns the line count."""
+    lines: List[Dict[str, object]] = []
+    for span in tracer.span_dicts():
+        base = {
+            "trace_id": span["trace_id"],
+            "span_id": span["span_id"],
+            "parent_id": span["parent_id"],
+        }
+        lines.append({
+            "ts": span["start"], "event": f"{span['name']}.start",
+            "lvl": "INFO", "cat": span.get("cat") or "",
+            **base, **(span.get("attrs") or {}),
+        })
+        for ev in span.get("events") or ():
+            lines.append({
+                "ts": ev["t"], "event": f"{span['name']}.{ev['name']}",
+                "lvl": "INFO", **base,
+            })
+        lines.append({
+            "ts": span["end"], "event": f"{span['name']}.end",
+            "lvl": "INFO", "dur": span["end"] - span["start"], **base,
+        })
+    for ev in tracer.instants:
+        lines.append({
+            "ts": ev["t"], "event": ev["name"], "lvl": "INFO",
+            **{k: v for k, v in ev.items() if k not in ("name", "t")},
+        })
+    for sample in tracer.counters:
+        lines.append({
+            "ts": sample["t"], "event": f"counter.{sample['name']}",
+            "lvl": "DEBUG", "value": sample["value"],
+        })
+    lines.sort(key=lambda rec: rec["ts"])
+    if hasattr(path_or_file, "write"):
+        fh = path_or_file
+        for rec in lines:
+            fh.write(json.dumps(rec) + "\n")
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            for rec in lines:
+                fh.write(json.dumps(rec) + "\n")
+    return len(lines)
+
+
+def _spans_from_chrome(doc: Dict[str, object]) -> List[SpanDict]:
+    spans: List[SpanDict] = []
+    for ev in doc.get("traceEvents", ()):
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args") or {}
+        if "span_id" not in args:
+            continue
+        attrs = {k: v for k, v in args.items()
+                 if k not in ("span_id", "trace_id", "parent_id")}
+        start = float(ev["ts"]) / _US
+        spans.append({
+            "name": ev.get("name", ""),
+            "cat": ev.get("cat", ""),
+            "trace_id": args.get("trace_id"),
+            "span_id": args["span_id"],
+            "parent_id": args.get("parent_id"),
+            "start": start,
+            "end": start + float(ev.get("dur", 0.0)) / _US,
+            "attrs": attrs,
+            "events": [],
+        })
+    return spans
+
+
+def _spans_from_jsonl(text: str) -> List[SpanDict]:
+    open_spans: Dict[int, SpanDict] = {}
+    done: List[SpanDict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        event = rec.get("event", "")
+        sid = rec.get("span_id")
+        if sid is None:
+            continue
+        if event.endswith(".start"):
+            attrs = {k: v for k, v in rec.items()
+                     if k not in ("ts", "event", "lvl", "cat", "trace_id",
+                                  "span_id", "parent_id")}
+            open_spans[sid] = {
+                "name": event[:-len(".start")],
+                "cat": rec.get("cat", ""),
+                "trace_id": rec.get("trace_id"),
+                "span_id": sid,
+                "parent_id": rec.get("parent_id"),
+                "start": float(rec["ts"]),
+                "end": float(rec["ts"]),
+                "attrs": attrs,
+                "events": [],
+            }
+        elif event.endswith(".end") and sid in open_spans:
+            span = open_spans.pop(sid)
+            span["end"] = float(rec["ts"])
+            done.append(span)
+    done.extend(open_spans.values())
+    done.sort(key=_span_sort_key)
+    return done
+
+
+def load_trace(path: str) -> List[SpanDict]:
+    """Load span dicts back out of either export format (auto-detected)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            return _spans_from_jsonl(text)
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            return _spans_from_chrome(doc)
+    return _spans_from_jsonl(text)

@@ -1,0 +1,213 @@
+"""Named counters, gauges and log-scale histograms.
+
+Session latencies span four decades — an agent-cache hit costs ~1e-4 s while
+a cold WAN fetch approaches a second — so linear histogram buckets are
+useless.  :class:`LogHistogram` uses fixed-ratio buckets (each bucket's upper
+edge is ``growth`` times the previous), giving constant *relative* resolution
+across the whole range, and derives p50/p95/p99 from the bucket counts.
+
+The registry is intentionally tiny: metrics are named with a flat string
+(dots as conventional separators, e.g. ``"link.wan.utilization"``) and
+created on first touch, so instrumentation sites never need set-up code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["Counter", "Gauge", "LogHistogram", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, bytes, cancellations...)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins sampled value, with observed min/max retained."""
+
+    name: str
+    value: float = 0.0
+    min_seen: float = math.inf
+    max_seen: float = -math.inf
+    samples: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+
+class LogHistogram:
+    """Histogram with fixed-ratio (geometric) bucket edges.
+
+    Buckets cover ``[lo, hi)`` with edges ``lo * growth**k``; values below
+    ``lo`` land in an underflow bucket, values at or above ``hi`` in an
+    overflow bucket.  The default range covers the session's four latency
+    decades (1e-4 s .. 1 s) at 10 buckets per decade (growth ≈ 1.26, i.e.
+    every estimate is within ±12% of the true quantile).
+    """
+
+    def __init__(self, name: str, lo: float = 1e-4, hi: float = 1.0,
+                 buckets_per_decade: int = 10) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if buckets_per_decade < 1:
+            raise ValueError("need at least one bucket per decade")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.growth = 10.0 ** (1.0 / buckets_per_decade)
+        n = int(math.ceil(
+            math.log(hi / lo) / math.log(self.growth) - 1e-9))
+        # edges[i] is the upper bound of bucket i (excluding under/overflow)
+        self.edges: List[float] = [lo * self.growth ** (k + 1)
+                                   for k in range(n)]
+        self.counts: List[int] = [0] * n
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+        self.sum = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+        self._log_growth = math.log(self.growth)
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latencies are non-negative")
+        self.total += 1
+        self.sum += value
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+        if value < self.lo:
+            self.underflow += 1
+            return
+        idx = int(math.log(value / self.lo) / self._log_growth)
+        if idx >= len(self.counts):
+            self.overflow += 1
+        else:
+            self.counts[idx] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bucket counts (geometric midpoint).
+
+        Underflow resolves to ``lo``; overflow to the observed max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = self.underflow
+        if rank <= seen:
+            return min(self.lo, self.max_seen)
+        lower = self.lo
+        for upper, count in zip(self.edges, self.counts):
+            seen += count
+            if rank <= seen and count:
+                return math.sqrt(lower * upper)
+            lower = upper
+        return self.max_seen
+
+    def percentiles(self) -> Dict[str, float]:
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def nonzero_buckets(self) -> List[Tuple[float, float, int]]:
+        """(lower, upper, count) for populated buckets — compact export."""
+        out: List[Tuple[float, float, int]] = []
+        lower = self.lo
+        for upper, count in zip(self.edges, self.counts):
+            if count:
+                out.append((lower, upper, count))
+            lower = upper
+        return out
+
+
+class MetricsRegistry:
+    """Flat namespace of metrics, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, LogHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, lo: float = 1e-4, hi: float = 1.0,
+                  buckets_per_decade: int = 10) -> LogHistogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = LogHistogram(
+                name, lo=lo, hi=hi, buckets_per_decade=buckets_per_decade)
+        return h
+
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, LogHistogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready dump of every metric (summary(), exporters)."""
+        out: Dict[str, object] = {"counters": {}, "gauges": {},
+                                  "histograms": {}}
+        for name, c in sorted(self._counters.items()):
+            out["counters"][name] = c.value
+        for name, g in sorted(self._gauges.items()):
+            out["gauges"][name] = {
+                "value": g.value,
+                "min": None if g.samples == 0 else g.min_seen,
+                "max": None if g.samples == 0 else g.max_seen,
+                "samples": g.samples,
+            }
+        for name, h in sorted(self._histograms.items()):
+            out["histograms"][name] = {
+                "count": h.total,
+                "mean": h.mean,
+                "min": None if h.total == 0 else h.min_seen,
+                "max": None if h.total == 0 else h.max_seen,
+                **h.percentiles(),
+            }
+        return out

@@ -1,0 +1,199 @@
+"""Periodic samplers: turn live components into gauge time series.
+
+Spans capture *per-request* structure; these samplers capture *system state
+over time* — the two views NetLogger-style analyses cross-reference (e.g.
+"this access was slow because the WAN link was at 100% serving staging").
+Each sampler ticks at a fixed sim-time period on the session's event queue;
+every tick writes current values into
+:class:`~repro.obs.metrics.MetricsRegistry` gauges and emits Chrome
+counter-track samples through the tracer, so the series render under the
+span tracks in Perfetto.
+
+Samplers are only wired when tracing is enabled — they cost simulated-time
+events, so benchmarks must not carry them silently.
+
+This module deliberately duck-types its targets (network, scheduler, depots,
+agent) instead of importing :mod:`repro.lon` at runtime:
+:mod:`repro.lon.scheduler` imports the tracer from this package, and a
+runtime import back into ``lon`` would close an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (see module docstring)
+    from ..lon.ibp import Depot
+    from ..lon.network import Network
+    from ..lon.scheduler import TransferScheduler
+    from ..lon.simtime import EventQueue
+
+__all__ = [
+    "PeriodicSampler",
+    "LinkUtilizationSampler",
+    "DepotSampler",
+    "SchedulerOccupancySampler",
+    "CacheSampler",
+    "standard_samplers",
+]
+
+
+class PeriodicSampler:
+    """Base class: a named probe ticking every ``period`` sim seconds."""
+
+    def __init__(
+        self,
+        queue: "EventQueue",
+        tracer: Tracer,
+        registry: MetricsRegistry,
+        period: float = 0.5,
+        name: str = "sampler",
+    ) -> None:
+        if period <= 0:
+            raise ValueError("sample period must be positive")
+        self.queue = queue
+        self.tracer = tracer
+        self.registry = registry
+        self.period = period
+        self.name = name
+        self.ticks = 0
+        self._event = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        """True while a tick is pending."""
+        return self._running
+
+    def start(self, delay: float = 0.0) -> None:
+        """Arm the first sample ``delay`` seconds from now."""
+        if self._running:
+            return
+        self._running = True
+        self._event = self.queue.schedule_in(delay, self._tick, self.name)
+
+    def stop(self) -> None:
+        """Cancel future samples (pending tick dropped)."""
+        self._running = False
+        if self._event is not None:
+            self.queue.cancel(self._event)
+            self._event = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self.sample()
+        self._event = self.queue.schedule_in(
+            self.period, self._tick, self.name
+        )
+
+    def emit(self, series: str, value: float) -> None:
+        """Record one sample into both the registry and the trace."""
+        self.registry.gauge(series).set(value)
+        self.tracer.counter(series, value)
+
+    def sample(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class LinkUtilizationSampler(PeriodicSampler):
+    """Per-link utilization (allocated rate / capacity), 0..1."""
+
+    def __init__(self, queue: "EventQueue", tracer: Tracer,
+                 registry: MetricsRegistry, network: "Network",
+                 period: float = 0.5) -> None:
+        super().__init__(queue, tracer, registry, period, "sample-links")
+        self.network = network
+
+    def sample(self) -> None:
+        for (a, b), util in sorted(self.network.link_utilization().items()):
+            self.emit(f"link.{a}--{b}.utilization", util)
+
+
+class DepotSampler(PeriodicSampler):
+    """Per-depot service counters: bytes served and in-flight flow count.
+
+    "Bytes served" counts both service modes — direct loads to a client and
+    third-party ``copy_out`` sourcing — plus ingest stores, since all three
+    consume the depot's disk/NIC.  "Queue depth" is the number of active
+    network flows touching the depot's node (either direction).
+    """
+
+    def __init__(self, queue: "EventQueue", tracer: Tracer,
+                 registry: MetricsRegistry, depots: Iterable["Depot"],
+                 network: "Network", period: float = 0.5) -> None:
+        super().__init__(queue, tracer, registry, period, "sample-depots")
+        self.depots = list(depots)
+        self.network = network
+
+    def sample(self) -> None:
+        flows = self.network.active_flows
+        for depot in self.depots:
+            served = (depot.stats.bytes_loaded + depot.stats.bytes_copied
+                      + depot.stats.bytes_stored)
+            depth = sum(
+                1 for f in flows
+                if depot.name in (f.src, f.dst) and not f.paused
+            )
+            self.emit(f"depot.{depot.name}.bytes_served", served)
+            self.emit(f"depot.{depot.name}.queue_depth", depth)
+            self.registry.gauge(f"depot.{depot.name}.used_bytes").set(
+                depot.used
+            )
+
+
+class SchedulerOccupancySampler(PeriodicSampler):
+    """How many admitted transfers run in each priority class."""
+
+    def __init__(self, queue: "EventQueue", tracer: Tracer,
+                 registry: MetricsRegistry, scheduler: "TransferScheduler",
+                 period: float = 0.5) -> None:
+        super().__init__(queue, tracer, registry, period, "sample-scheduler")
+        self.scheduler = scheduler
+
+    def sample(self) -> None:
+        # scheduler.weights enumerates every priority class, so idle classes
+        # still emit an explicit zero sample
+        counts = {prio: 0 for prio in self.scheduler.weights}
+        for handle in self.scheduler.active_handles:
+            counts[handle.priority] = counts.get(handle.priority, 0) + 1
+        for prio, n in counts.items():
+            self.emit(f"scheduler.{prio.name.lower()}.active", n)
+
+
+class CacheSampler(PeriodicSampler):
+    """Client-agent cache fill and LAN-depot staging coverage."""
+
+    def __init__(self, queue: "EventQueue", tracer: Tracer,
+                 registry: MetricsRegistry, agent: object,
+                 period: float = 0.5) -> None:
+        super().__init__(queue, tracer, registry, period, "sample-cache")
+        self.agent = agent
+
+    def sample(self) -> None:
+        self.emit("agent.cache.bytes", self.agent._payload_total)
+        self.emit("agent.cache.payloads", len(self.agent._payloads))
+        self.emit("agent.staged.viewsets", len(self.agent._staged_lan))
+
+
+def standard_samplers(
+    queue: "EventQueue",
+    tracer: Tracer,
+    registry: MetricsRegistry,
+    network: "Network",
+    scheduler: "TransferScheduler",
+    depots: Iterable["Depot"],
+    agent: object,
+    period: float = 0.5,
+) -> List[PeriodicSampler]:
+    """The full sampler set a traced session runs (not yet started)."""
+    return [
+        LinkUtilizationSampler(queue, tracer, registry, network, period),
+        DepotSampler(queue, tracer, registry, depots, network, period),
+        SchedulerOccupancySampler(queue, tracer, registry, scheduler, period),
+        CacheSampler(queue, tracer, registry, agent, period),
+    ]

@@ -1,0 +1,323 @@
+"""Sim-time-aware hierarchical tracing (the NetLogger lineage).
+
+The paper's headline results are *latency attributions*: Figures 9-12 break a
+view-set access's wait into brokerage, cache lookup, WAN transfer and
+decompression.  This module records exactly that as a tree of **spans** —
+named intervals of simulated time carrying ``trace_id``/``span_id``/
+``parent_id`` plus free-form key-value attributes — the same model Bethel et
+al. used (via NetLogger) to make their WAN visualization pipeline debuggable.
+
+Design constraints:
+
+* **sim-time, not wall-clock** — timestamps come from the simulation clock,
+  so a trace of a 40-second simulated session reads in simulated seconds no
+  matter how fast the host ran it;
+* **cheap when off** — a disabled :class:`Tracer` hands out one shared
+  :data:`NOOP_SPAN` whose methods do nothing, so instrumented hot paths pay a
+  single predictable method call (benchmarks keep tracing off; examples turn
+  it on);
+* **retroactive spans** — event-driven code often knows a stage's boundaries
+  only at completion time; :meth:`Tracer.record` creates an already-closed
+  span from explicit timestamps, which is how the client emits its exact
+  per-access stage partition.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+__all__ = ["Span", "Tracer", "NoopSpan", "NOOP_SPAN", "NULL_TRACER"]
+
+
+class Span:
+    """One named interval of simulated time in a trace tree."""
+
+    __slots__ = (
+        "tracer", "name", "category", "trace_id", "span_id", "parent_id",
+        "start", "end", "attrs", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, object] = {}
+        self.events: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once :meth:`finish` (or a closed record) set the end time."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def annotate(self, **attrs: object) -> "Span":
+        """Attach key-value attributes (later keys overwrite earlier)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, t: Optional[float] = None,
+              **attrs: object) -> None:
+        """Record an instant event inside this span (promotion, pause...)."""
+        ev: Dict[str, object] = {
+            "name": name,
+            "t": self.tracer.now if t is None else t,
+        }
+        if attrs:
+            ev.update(attrs)
+        self.events.append(ev)
+
+    def finish(self, t: Optional[float] = None, **attrs: object) -> "Span":
+        """Close the span (idempotent; the first close wins)."""
+        if attrs:
+            self.attrs.update(attrs)
+        if self.end is None:
+            self.end = self.tracer.now if t is None else t
+            if self.end < self.start:
+                self.end = self.start
+        return self
+
+    def child(self, name: str, t: Optional[float] = None,
+              category: str = "", **attrs: object) -> "Span":
+        """Open a child span under this one."""
+        return self.tracer.begin(name, parent=self, t=t,
+                                 category=category, **attrs)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (the exporters' input)."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end if self.end is not None else self.start,
+            "attrs": dict(self.attrs),
+            "events": list(self.events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, [{self.start:.6f}, {self.end}])")
+
+
+class NoopSpan:
+    """The disabled tracer's universal span: every method is a no-op."""
+
+    __slots__ = ()
+
+    name = ""
+    category = ""
+    trace_id = None
+    span_id = None
+    parent_id = None
+    start = 0.0
+    end = 0.0
+    finished = True
+    duration = 0.0
+    attrs: Dict[str, object] = {}
+    events: List[Dict[str, object]] = []
+
+    def annotate(self, **attrs: object) -> "NoopSpan":
+        return self
+
+    def event(self, name: str, t: Optional[float] = None,
+              **attrs: object) -> None:
+        return None
+
+    def finish(self, t: Optional[float] = None,
+               **attrs: object) -> "NoopSpan":
+        return self
+
+    def child(self, name: str, t: Optional[float] = None,
+              category: str = "", **attrs: object) -> "NoopSpan":
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        return {}
+
+
+#: shared do-nothing span handed out by disabled tracers.
+NOOP_SPAN = NoopSpan()
+
+AnySpan = Union[Span, NoopSpan]
+
+
+class Tracer:
+    """Factory and container for spans over one simulated run.
+
+    Parameters
+    ----------
+    clock:
+        Either an object with a ``now`` attribute (a
+        :class:`~repro.lon.simtime.SimClock` or ``EventQueue``) or a
+        zero-argument callable returning the current time.  ``None`` pins
+        the clock at 0.0 (explicit timestamps still work).
+    enabled:
+        When False every factory method returns :data:`NOOP_SPAN` and
+        nothing is recorded.
+    """
+
+    def __init__(self, clock: object = None, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self.spans: List[Span] = []
+        self.counters: List[Dict[str, object]] = []
+        self.instants: List[Dict[str, object]] = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time according to the wired clock."""
+        clock = self._clock
+        if clock is None:
+            return 0.0
+        if callable(clock):
+            return float(clock())
+        return float(clock.now)
+
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        parent: Optional[AnySpan] = None,
+        t: Optional[float] = None,
+        category: str = "",
+        **attrs: object,
+    ) -> AnySpan:
+        """Open a span now (or at ``t``); root when ``parent`` is None."""
+        if not self.enabled:
+            return NOOP_SPAN
+        if parent is None or parent is NOOP_SPAN:
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            tracer=self,
+            name=name,
+            category=category,
+            trace_id=trace_id,
+            span_id=self._next_span_id,
+            parent_id=parent_id,
+            start=self.now if t is None else t,
+        )
+        self._next_span_id += 1
+        if attrs:
+            span.attrs.update(attrs)
+        self.spans.append(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Optional[AnySpan] = None,
+        category: str = "",
+        **attrs: object,
+    ) -> AnySpan:
+        """Create an already-closed span from explicit timestamps."""
+        if not self.enabled:
+            return NOOP_SPAN
+        span = self.begin(name, parent=parent, t=start,
+                          category=category, **attrs)
+        span.finish(t=max(start, end))
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[AnySpan] = None,
+        category: str = "",
+        **attrs: object,
+    ) -> Iterator[AnySpan]:
+        """Context manager for synchronous sections (closes on exit)."""
+        s = self.begin(name, parent=parent, category=category, **attrs)
+        try:
+            yield s
+        finally:
+            s.finish()
+
+    # ------------------------------------------------------------------
+    def instant(self, name: str, t: Optional[float] = None,
+                **attrs: object) -> None:
+        """A global instant event (e.g. a prefetch decision)."""
+        if not self.enabled:
+            return
+        ev: Dict[str, object] = {
+            "name": name,
+            "t": self.now if t is None else t,
+        }
+        if attrs:
+            ev.update(attrs)
+        self.instants.append(ev)
+
+    def counter(self, name: str, value: float,
+                t: Optional[float] = None) -> None:
+        """One sample of a named time series (samplers feed these)."""
+        if not self.enabled:
+            return
+        self.counters.append({
+            "name": name,
+            "t": self.now if t is None else t,
+            "value": value,
+        })
+
+    # ------------------------------------------------------------------
+    def finish_open(self, t: Optional[float] = None) -> int:
+        """Close every still-open span (end of run); returns how many."""
+        n = 0
+        for span in self.spans:
+            if span.end is None:
+                span.finish(t=t)
+                span.attrs.setdefault("unfinished", True)
+                n += 1
+        return n
+
+    def span_dicts(self) -> List[Dict[str, object]]:
+        """All spans as plain dicts (report/export input)."""
+        return [s.to_dict() for s in self.spans]
+
+    def roots(self) -> List[Span]:
+        """Spans with no parent, in creation order."""
+        return [s for s in self.spans if s.parent_id is None]
+
+
+#: shared disabled tracer: instrument against this by default.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def make_tracer(clock: object = None,
+                enabled: bool = True) -> Tracer:
+    """Convenience: a real tracer when enabled, the shared null otherwise."""
+    return Tracer(clock, enabled=True) if enabled else NULL_TRACER
+
+
+# re-exported for callers that only need the type for annotations
+Clock = Callable[[], float]

@@ -34,6 +34,7 @@ from ..lon.lors import Deferred, DownloadJob, LoRS
 from ..lon.network import Network
 from ..lon.scheduler import InFlightRegistry, Priority
 from ..lon.simtime import EventQueue
+from ..obs.tracer import NOOP_SPAN, NULL_TRACER, Tracer
 from .dvs import DVSServer
 from .metrics import AccessSource
 from .server import ServerAgent
@@ -80,6 +81,10 @@ class _Flight:
     foreign: bool = False      # bytes are moving under another layer's entry
     retried: bool = False
     cancelled: bool = False
+    span: object = NOOP_SPAN   # this fetch's trace span
+    #: sim time the first data flow was admitted (the queue-wait boundary);
+    #: None when the payload never rode a flow (shouldn't happen on misses)
+    t_first_flow: Optional[float] = None
 
 
 class ClientAgent:
@@ -106,6 +111,7 @@ class ClientAgent:
         cache_bytes: Optional[int] = None,
         max_streams: int = 8,
         prefetch_cancel_beyond: Optional[int] = 2,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``prefetch_cancel_beyond``: on a cursor retarget, in-flight
         prefetches farther than this view-set grid distance from the new
@@ -130,6 +136,10 @@ class ClientAgent:
         self._flights: Dict[str, _Flight] = {}
         self._prefetched: set = set()
         self.stats = AgentStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # per-viewset timing marks left behind by _deliver for the client's
+        # stage-span reconstruction (populated only when tracing is on)
+        self._marks: Dict[str, Dict[str, Optional[float]]] = {}
 
     # ------------------------------------------------------------------
     # cache
@@ -194,12 +204,14 @@ class ClientAgent:
         vid: str,
         on_payload: Callable[[bytes, AccessSource, float], None],
         prefetch: bool = False,
+        span: object = None,
     ) -> None:
         """Ask for a view set (invoked at the request's arrival time).
 
         ``on_payload(payload, source, comm_latency)`` fires at the sim time
         the payload is available *at the agent*; ``comm_latency`` is the
-        Figure 12 data-access latency.
+        Figure 12 data-access latency.  ``span``, when given, parents the
+        fetch's trace spans (normally the client's access root span).
         """
         self.stats.requests += 1
         if prefetch:
@@ -227,6 +239,7 @@ class ClientAgent:
             self.stats.coalesced += 1
             flight.waiters.append(waiter)
             flight.prefetch_only &= prefetch
+            flight.span.event("coalesced", prefetch=prefetch)
             if not prefetch:
                 if self.registry.promote(vid, Priority.DEMAND):
                     self.stats.promoted += 1
@@ -240,6 +253,8 @@ class ClientAgent:
                 waiters=[waiter], prefetch_only=prefetch, foreign=True,
                 priority=Priority.PREFETCH if prefetch else Priority.DEMAND,
             )
+            flight.span = self._begin_fetch_span(vid, prefetch, span)
+            flight.span.event("riding-foreign-transfer")
             self._flights[vid] = flight
             if not prefetch:
                 if self.registry.promote(vid, Priority.DEMAND):
@@ -252,9 +267,24 @@ class ClientAgent:
             waiters=[waiter], prefetch_only=prefetch,
             priority=Priority.PREFETCH if prefetch else Priority.DEMAND,
         )
+        flight.span = self._begin_fetch_span(vid, prefetch, span)
         self._flights[vid] = flight
         self._register_flight(vid, flight)
         self._resolve(vid)
+
+    def _begin_fetch_span(self, vid: str, prefetch: bool,
+                          parent: object) -> object:
+        """Open the span tracking one agent fetch.
+
+        Demand fetches hang under the client's access span; prefetches have
+        no demand parent and become roots in the "prefetch" track.
+        """
+        return self.tracer.begin(
+            f"fetch:{vid}",
+            parent=parent,
+            category="prefetch" if (prefetch and parent is None) else "fetch",
+            viewset=vid,
+        )
 
     def _register_flight(self, vid: str, flight: _Flight) -> None:
         self.registry.register(
@@ -263,6 +293,7 @@ class ClientAgent:
             flight.priority,
             promote_cb=lambda p: self._promote_flight(vid, p),
             cancel_cb=lambda: self._cancel_flight(vid),
+            span=flight.span,
         )
 
     def _promote_flight(self, vid: str, priority: Priority) -> None:
@@ -279,6 +310,7 @@ class ClientAgent:
             return
         flight.cancelled = True
         self.stats.cancelled += 1
+        flight.span.finish(state="cancelled")
         if flight.job is not None:
             flight.job.cancel()
 
@@ -323,11 +355,18 @@ class ClientAgent:
             return
         # DVS query: RPC to the DVS node + hierarchical lookup delay
         delay = self.network.rpc_delay(self.node, self.dvs_node)
+        flight = self._flights.get(vid)
+        fspan = flight.span if flight is not None else NOOP_SPAN
+        dvs_span = fspan.child("dvs-query", viewset=vid)
 
         def do_query() -> None:
             result = self.dvs.query(vid)
 
             def after_lookup() -> None:
+                dvs_span.finish(
+                    found="exnode" if result.exnodes
+                    else ("server" if result.server_agent else "nothing"),
+                )
                 if result.exnodes:
                     ex = result.exnodes[0].read_only_view()
                     self._exnodes[vid] = ex
@@ -351,7 +390,8 @@ class ClientAgent:
             return
         deferred = self.lors.download(exnode, self.node,
                                       max_streams=self.max_streams,
-                                      priority=flight.priority)
+                                      priority=flight.priority,
+                                      span=flight.span)
         flight.job = deferred.job  # type: ignore[attr-defined]
 
         def done(dfd: Deferred) -> None:
@@ -369,6 +409,8 @@ class ClientAgent:
                     self._fail(vid, RuntimeError(f"download failed for {vid}"))
                 return
             job = dfd.job  # type: ignore[attr-defined]
+            if flight.t_first_flow is None:
+                flight.t_first_flow = job.t_first_flow
             lan_names = set(self._lan_depot_names())
             depots_used = set(job.per_depot_bytes)
             if depots_used and depots_used <= lan_names:
@@ -397,6 +439,13 @@ class ClientAgent:
             ))
             return
         self.stats.server_generations += 1
+        flight = self._flights.get(vid)
+        fspan = flight.span if flight is not None else NOOP_SPAN
+
+        def note_first_flow(t: float) -> None:
+            if flight is not None and flight.t_first_flow is None:
+                flight.t_first_flow = t
+
         delay = self.network.path_latency(self.node, agent_node)
         self.queue.schedule_in(
             delay,
@@ -406,6 +455,8 @@ class ClientAgent:
                 lambda payload: self._deliver(
                     vid, payload, AccessSource.SERVER_RUNTIME
                 ),
+                span=fspan,
+                on_first_flow=note_first_flow,
             ),
             f"gen-req:{vid}",
         )
@@ -417,6 +468,13 @@ class ClientAgent:
         self.registry.complete(vid, success=True)
         if flight is None:
             return
+        if self.tracer.enabled and any(not w.prefetch for w in flight.waiters):
+            # only demand deliveries leave a mark: the client's on_payload is
+            # the one consumer, so prefetch-only deliveries would leak stale
+            # boundary times into a later cache hit's stage spans
+            self._marks[vid] = {"t_first_flow": flight.t_first_flow}
+        flight.span.finish(source=source.value, bytes=len(payload),
+                           waiters=len(flight.waiters))
         if flight.prefetch_only:
             self._prefetched.add(vid)
         now = self.queue.now
@@ -430,9 +488,19 @@ class ClientAgent:
         self.registry.complete(vid, success=False)
         if flight is None:
             return
+        flight.span.finish(state="failed")
         for w in flight.waiters:
             if not w.prefetch:
                 raise exc  # demand path has no fallback: surface loudly
+
+    def take_flight_mark(self, vid: str) -> Optional[Dict[str, Optional[float]]]:
+        """Pop the timing marks _deliver left for ``vid`` (tracing only).
+
+        The client uses these to place the queue-wait / network-transfer
+        boundary in its per-access stage spans; None on cache hits (no
+        flight ever existed) or when tracing is disabled.
+        """
+        return self._marks.pop(vid, None)
 
     # ------------------------------------------------------------------
     def prefetch(self, keys: List[ViewSetKey]) -> None:

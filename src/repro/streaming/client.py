@@ -22,6 +22,7 @@ from ..lightfield.viewset import ViewSet
 from ..lon.network import Network
 from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
+from ..obs.tracer import NULL_TRACER, Tracer
 from .agent import ClientAgent
 from .metrics import AccessRecord, AccessSource, SessionMetrics
 from .prefetch import PrefetchPolicy, QuadrantPolicy
@@ -60,6 +61,7 @@ class Client:
         policy: Optional[PrefetchPolicy] = None,
         cpu_scale: float = 1.0,
         on_cursor: Optional[Callable[[ViewSetKey], None]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if resident_capacity < 1:
             raise ValueError("resident_capacity must be >= 1")
@@ -83,6 +85,9 @@ class Client:
         # vid -> [(access index, request time)] for accesses that landed
         # while the same view set was already being fetched
         self._outstanding: Dict[str, List[Tuple[int, float]]] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # access index -> open root span, joined back up in complete()
+        self._access_spans: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     def resident_keys(self) -> List[ViewSetKey]:
@@ -135,6 +140,12 @@ class Client:
         ]
         if wanted:
             self.metrics.prefetch_issued += len(wanted)
+            self.tracer.instant(
+                "prefetch-decision",
+                cursor=self.lattice.viewset_id(key),
+                quadrant=str(quadrant),
+                targets=len(wanted),
+            )
             delay = self.network.path_latency(self.node, self.agent.node)
             self.queue.schedule_in(
                 delay, lambda w=wanted: self.agent.prefetch(w),
@@ -150,6 +161,17 @@ class Client:
         resident = self._resident.get(key)
         if resident is not None:
             self._resident.move_to_end(key)
+            if self.tracer.enabled:
+                root = self.tracer.record(
+                    f"access:{vid}", t0, t0 + RESIDENT_SWAP_LATENCY,
+                    category="access", index=index, viewset=vid,
+                    source=AccessSource.CLIENT_RESIDENT.value,
+                    total_latency=RESIDENT_SWAP_LATENCY,
+                )
+                self.tracer.record(
+                    "resident-swap", t0, t0 + RESIDENT_SWAP_LATENCY,
+                    parent=root, category="stage",
+                )
             self.metrics.record(
                 AccessRecord(
                     index=index,
@@ -162,6 +184,10 @@ class Client:
                 )
             )
             return
+        root = self.tracer.begin(f"access:{vid}", t=t0, category="access",
+                                 index=index, viewset=vid)
+        if self.tracer.enabled:
+            self._access_spans[index] = root
         pending = self._outstanding.get(vid)
         if pending is not None:
             # the user re-entered a view set that is still in flight: the
@@ -173,34 +199,64 @@ class Client:
 
         def on_payload(payload: bytes, source: AccessSource,
                        comm_latency: float) -> None:
+            # payload is at the agent NOW; remember the boundary times the
+            # stage spans need before shipping it down to the console
+            t_payload = self.queue.now
+            mark = self.agent.take_flight_mark(vid)
             # ship the payload from the agent to the client console (the
             # user is waiting: DEMAND class)
             self.scheduler.submit(
                 self.agent.node,
                 self.node,
                 len(payload),
-                on_complete=lambda fl: finish(payload, source, comm_latency),
+                on_complete=lambda fl: finish(payload, source, comm_latency,
+                                              t_payload, mark),
                 label=f"to-client:{vid}",
                 priority=Priority.DEMAND,
+                span=root,
             )
 
         def finish(payload: bytes, source: AccessSource,
-                   comm_latency: float) -> None:
+                   comm_latency: float, t_payload: float,
+                   mark: Optional[Dict[str, Optional[float]]]) -> None:
             codec = codec_for_payload(payload)
             vs, wall = codec.decompress(payload)
             decompress = wall * self.cpu_scale
             self.queue.schedule_in(
                 decompress,
-                lambda: complete(vs, source, comm_latency, decompress),
+                lambda: complete(vs, source, comm_latency, decompress,
+                                 t_payload, mark),
                 f"decompress:{vid}",
             )
 
         def complete(vs: ViewSet, source: AccessSource,
-                     comm_latency: float, decompress: float) -> None:
+                     comm_latency: float, decompress: float,
+                     t_payload: float,
+                     mark: Optional[Dict[str, Optional[float]]]) -> None:
             waiters = self._outstanding.pop(vid, [(index, t0)])
             self._keep(key, vs)
             now = self.queue.now
+            traced = self.tracer.enabled
+            # cache hits never rode a flow this access; any mark present is
+            # a leftover from the fetch that originally filled the cache
+            t_first_flow = (
+                mark.get("t_first_flow")
+                if mark and source is not AccessSource.AGENT_CACHE else None
+            )
             for w_index, w_t0 in waiters:
+                if traced:
+                    w_root = self._access_spans.pop(w_index, None)
+                    if w_root is not None:
+                        self._emit_stage_spans(
+                            w_root, w_t0, t_payload - comm_latency,
+                            t_first_flow, t_payload, now - decompress, now,
+                        )
+                        w_root.finish(
+                            t=now, source=source.value,
+                            total_latency=now - w_t0,
+                            comm_latency=comm_latency,
+                            decompress_seconds=decompress,
+                        )
                 self.metrics.record(
                     AccessRecord(
                         index=w_index,
@@ -215,6 +271,41 @@ class Client:
 
         self.queue.schedule_in(
             req_delay,
-            lambda: self.agent.request(vid, on_payload),
+            lambda: self.agent.request(vid, on_payload, span=root),
             f"client-req:{vid}",
         )
+
+    def _emit_stage_spans(
+        self,
+        root: object,
+        w_t0: float,
+        agent_arrival: float,
+        t_first_flow: Optional[float],
+        t_payload: float,
+        t_ship_end: float,
+        t_end: float,
+    ) -> None:
+        """Partition one access's wait into consecutive stage spans.
+
+        Boundaries are forced monotone and clipped into the access window
+        ``[w_t0, t_end]`` so the stage durations always sum *exactly* to the
+        recorded total latency — including for coalesced accesses whose
+        request arrived mid-flight.  When no data flow ever ran (agent cache
+        hit) the transfer stages collapse into a single ``cache-lookup``.
+        """
+        if t_first_flow is None:
+            names = ["request-rpc", "cache-lookup",
+                     "ship-to-console", "decompress"]
+            bounds = [w_t0, agent_arrival, t_payload, t_ship_end, t_end]
+        else:
+            names = ["request-rpc", "queue-wait", "network-transfer",
+                     "ship-to-console", "decompress"]
+            bounds = [w_t0, agent_arrival, t_first_flow, t_payload,
+                      t_ship_end, t_end]
+        clipped: List[float] = []
+        prev = w_t0
+        for b in bounds:
+            prev = min(max(b, prev), t_end)
+            clipped.append(prev)
+        for name, cs, ce in zip(names, clipped, clipped[1:]):
+            self.tracer.record(name, cs, ce, parent=root, category="stage")

@@ -15,9 +15,10 @@ boundary (the access index after which no WAN fetches occur).
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from ..lon.scheduler import TransferEvent
 
@@ -67,6 +68,11 @@ class SessionMetrics:
     deduped: int = 0                # cross-layer duplicate fetches suppressed
     promoted_transfers: int = 0     # background transfers promoted to DEMAND
     cancelled_transfers: int = 0    # transfers cancelled as no longer useful
+    #: the session's tracer / metrics registry, wired by build_rig when
+    #: observability is on (None otherwise); breakdown() reads the tracer
+    tracer: Optional[object] = None
+    obs: Optional[object] = None
+    _seen_indices: Set[int] = field(default_factory=set, repr=False)
 
     def record_transfer_event(self, ev: TransferEvent) -> None:
         """Scheduler hook: append one transfer lifecycle event."""
@@ -95,12 +101,26 @@ class SessionMetrics:
 
         Records may *complete* out of order (a slow WAN fetch can outlive
         the next boundary crossing); the list is kept sorted by access
-        index so the figures' x-axes are monotone.
+        index so the figures' x-axes are monotone.  Duplicate detection and
+        the sorted insert are both O(log n) per record (a seen-index set +
+        ``bisect.insort``), so recording a long session stays linear.
         """
-        if any(a.index == rec.index for a in self.accesses):
+        if rec.index in self._seen_indices:
             raise ValueError(f"duplicate access index {rec.index}")
-        self.accesses.append(rec)
-        self.accesses.sort(key=lambda a: a.index)
+        self._seen_indices.add(rec.index)
+        insort(self.accesses, rec, key=lambda a: a.index)
+
+    def _pool(self, upto: Optional[int]) -> List[AccessRecord]:
+        """Accesses with ``index <= upto`` (all of them when None).
+
+        Slicing is by *access index*, not list position: with out-of-order
+        or sparse indices the two differ, and the figures' "first N
+        accesses" semantics want the index.
+        """
+        if upto is None:
+            return self.accesses
+        return self.accesses[:bisect_right(self.accesses, upto,
+                                           key=lambda a: a.index)]
 
     # ------------------------------------------------------------------
     # the figures' series
@@ -129,15 +149,15 @@ class SessionMetrics:
 
     def rate(self, source: AccessSource,
              upto: Optional[int] = None) -> float:
-        """Fraction of (the first ``upto``) accesses served from a tier."""
-        pool = self.accesses if upto is None else self.accesses[:upto]
+        """Fraction of accesses with ``index <= upto`` served from a tier."""
+        pool = self._pool(upto)
         if not pool:
             return 0.0
         return sum(1 for a in pool if a.source is source) / len(pool)
 
     def hit_rate(self, upto: Optional[int] = None) -> float:
         """Agent-cache hit rate (client-resident counts as a hit too)."""
-        pool = self.accesses if upto is None else self.accesses[:upto]
+        pool = self._pool(upto)
         if not pool:
             return 0.0
         hits = sum(
@@ -149,7 +169,7 @@ class SessionMetrics:
 
     def wan_rate(self, upto: Optional[int] = None) -> float:
         """Fraction of accesses that went to the WAN (or server)."""
-        pool = self.accesses if upto is None else self.accesses[:upto]
+        pool = self._pool(upto)
         if not pool:
             return 0.0
         wan = sum(
@@ -178,6 +198,19 @@ class SessionMetrics:
         if not pool:
             return 0.0
         return sum(a.total_latency for a in pool) / len(pool)
+
+    def breakdown(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-stage latency statistics from the session's trace.
+
+        Requires the session to have run with tracing on (``build_rig``
+        wires the tracer in); returns
+        ``{source: {stage: {count, mean, p50, p95, total}}}`` — the
+        trace-report table as data.  Empty when no tracer was attached.
+        """
+        if self.tracer is None:
+            return {}
+        from ..obs.report import stage_breakdown
+        return stage_breakdown(self.tracer.span_dicts())
 
     def summary(self) -> Dict[str, object]:
         """One-line dict of everything a bench table row needs."""

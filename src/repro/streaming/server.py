@@ -27,6 +27,7 @@ from ..lon.lors import LoRS
 from ..lon.network import Network
 from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
+from ..obs.tracer import NOOP_SPAN, NULL_TRACER, Tracer
 from .dvs import DVSServer
 
 __all__ = ["GenerationRequest", "ServerAgent"]
@@ -40,6 +41,9 @@ class GenerationRequest:
     reply_node: str
     on_payload: Callable[[bytes], None]
     arrival: float
+    span: object = NOOP_SPAN
+    #: fires with the sim time the reply flow is submitted (tracing hook)
+    on_first_flow: Optional[Callable[[float], None]] = None
 
 
 class ServerAgent:
@@ -74,6 +78,7 @@ class ServerAgent:
         render_seconds_per_viewset: float = 25.0,
         lease_duration: float = 24 * 3600.0,
         payload_for_vid: Optional[Callable[[str], bytes]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``payload_for_vid`` overrides how a view-set id resolves to
         bytes — used by zoom overlays and time-varying namespaces whose ids
@@ -97,6 +102,7 @@ class ServerAgent:
         self.generated = 0
         self.predistributed = 0
         self._payload_for_vid = payload_for_vid
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def payload_for(self, vid: str) -> bytes:
         """Resolve a view-set id to its payload bytes."""
@@ -148,14 +154,23 @@ class ServerAgent:
         vid: str,
         reply_node: str,
         on_payload: Callable[[bytes], None],
+        span: object = None,
+        on_first_flow: Optional[Callable[[float], None]] = None,
     ) -> None:
-        """Queue a runtime generation request (invoked at arrival time)."""
+        """Queue a runtime generation request (invoked at arrival time).
+
+        ``span`` parents the render's trace spans; ``on_first_flow`` fires
+        with the sim time the reply transfer is admitted (the requesting
+        agent uses it as its queue-wait/transfer boundary).
+        """
         self._pending.append(
             GenerationRequest(
                 vid=vid,
                 reply_node=reply_node,
                 on_payload=on_payload,
                 arrival=self.queue.now,
+                span=span if span is not None else NOOP_SPAN,
+                on_first_flow=on_first_flow,
             )
         )
         if not self._busy:
@@ -168,15 +183,25 @@ class ServerAgent:
         self._busy = True
         # the scheduler chooses the LATEST request (Section 3.4)
         req = self._pending.pop()
+        t_started = self.queue.now
         self.queue.schedule_in(
             self.render_seconds,
-            lambda: self._finish_render(req),
+            lambda: self._finish_render(req, t_started),
             f"render:{req.vid}",
         )
 
-    def _finish_render(self, req: GenerationRequest) -> None:
+    def _finish_render(self, req: GenerationRequest,
+                       t_started: float) -> None:
         payload = self.payload_for(req.vid)
         self.generated += 1
+        now = self.queue.now
+        self.tracer.record("gen-queue-wait", req.arrival, t_started,
+                           parent=req.span, viewset=req.vid)
+        self.tracer.record("render", t_started, now,
+                           parent=req.span, viewset=req.vid,
+                           bytes=len(payload))
+        if req.on_first_flow is not None:
+            req.on_first_flow(now)
         # 1. direct copy to the requesting client agent (a user waits on it)
         self.lors.scheduler.submit(
             self.node,
@@ -185,6 +210,7 @@ class ServerAgent:
             on_complete=lambda fl: req.on_payload(payload),
             label=f"gen:{req.vid}",
             priority=Priority.DEMAND,
+            span=req.span,
         )
         # 2. upload to the server depot pool + DVS update; MAINTENANCE class
         # so database upkeep never crowds out the reply

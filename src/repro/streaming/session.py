@@ -17,7 +17,7 @@ bottleneck); three server depots + DVS + server agent at the remote site.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..lightfield.source import ViewSetSource
@@ -27,6 +27,9 @@ from ..lon.lors import LoRS
 from ..lon.network import Network, gbps, mbps
 from ..lon.scheduler import SCHEDULING_POLICIES, TransferScheduler
 from ..lon.simtime import EventQueue
+from ..obs.metrics import MetricsRegistry
+from ..obs.samplers import PeriodicSampler, standard_samplers
+from ..obs.tracer import Tracer
 from .agent import ClientAgent
 from .client import Client
 from .dvs import DVSServer
@@ -107,6 +110,11 @@ class SessionConfig:
     prefetch_cancel_beyond: Optional[int] = 2
     #: record per-transfer lifecycle events on the session metrics
     record_transfer_events: bool = True
+    #: enable end-to-end tracing + periodic samplers (repro.obs); off by
+    #: default — the disabled tracer's overhead is a no-op method call
+    tracing: bool = False
+    #: sampler period in simulated seconds (link utilization, queue depths)
+    sample_period: float = 0.5
 
     def __post_init__(self) -> None:
         if self.case not in (1, 2, 3):
@@ -135,6 +143,9 @@ class SessionRig:
     lan_depots: List[Depot]
     wan_depots: List[Depot]
     trace: CursorTrace
+    tracer: Optional[Tracer] = None
+    obs: Optional[MetricsRegistry] = None
+    samplers: List[PeriodicSampler] = field(default_factory=list)
 
 
 def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
@@ -173,11 +184,19 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         case_name=f"case{config.case}", resolution=source.resolution,
         scheduling_policy=config.scheduling_policy,
     )
+    tracer: Optional[Tracer] = None
+    obs: Optional[MetricsRegistry] = None
+    if config.tracing:
+        tracer = Tracer(queue.clock, enabled=True)
+        obs = MetricsRegistry()
+        metrics.tracer = tracer
+        metrics.obs = obs
     scheduler = TransferScheduler(
         net,
         policy=config.scheduling_policy,
         on_event=(metrics.record_transfer_event
                   if config.record_transfer_events else None),
+        tracer=tracer,
     )
     lors = LoRS(queue, net, lbone, scheduler=scheduler)
 
@@ -195,6 +214,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         stripe_width=min(config.stripe_width, len(home_depots)),
         replicas=config.replicas,
         block_size=config.block_size,
+        tracer=tracer,
     )
     server_agent.pre_distribute()
 
@@ -211,6 +231,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         cache_bytes=config.agent_cache_bytes,
         max_streams=config.max_streams,
         prefetch_cancel_beyond=config.prefetch_cancel_beyond,
+        tracer=tracer,
     )
     staging: Optional[StagingPump] = None
     if config.case == 3:
@@ -225,6 +246,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
             streams_per_copy=config.staging_streams,
             order=config.staging_order,
             cancel_beyond=config.staging_cancel_beyond,
+            tracer=tracer,
         )
     policy = policy_by_name(config.prefetch_policy)
     client = Client(
@@ -238,6 +260,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         policy=policy,
         cpu_scale=config.cpu_scale,
         on_cursor=(staging.update_cursor if staging is not None else None),
+        tracer=tracer,
     )
     trace = config.trace if config.trace is not None else standard_trace(
         source.lattice,
@@ -246,6 +269,16 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         seed=config.trace_seed,
         heading_noise=config.heading_noise,
     )
+    samplers: List[PeriodicSampler] = []
+    if tracer is not None and obs is not None:
+        samplers = standard_samplers(
+            queue, tracer, obs,
+            network=net,
+            scheduler=scheduler,
+            depots=lan_depots + wan_depots,
+            agent=client_agent,
+            period=config.sample_period,
+        )
     return SessionRig(
         config=config,
         queue=queue,
@@ -261,6 +294,9 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         lan_depots=lan_depots,
         wan_depots=wan_depots,
         trace=trace,
+        tracer=tracer,
+        obs=obs,
+        samplers=samplers,
     )
 
 
@@ -277,6 +313,8 @@ def run_session(
     rig = build_rig(source, config)
     if rig.staging is not None:
         rig.staging.start()
+    for sampler in rig.samplers:
+        sampler.start()
     rig.client.schedule_trace(rig.trace)
     horizon = rig.trace.duration + settle_seconds
     rig.queue.run_until(horizon)
@@ -284,7 +322,11 @@ def run_session(
         rig.staging.stop()
         rig.metrics.staged_count = rig.staging.stats.staged
         rig.metrics.staged_bytes = rig.staging.stats.bytes_staged
+    for sampler in rig.samplers:
+        sampler.stop()
     rig.queue.run_until(horizon + settle_seconds)
+    if rig.tracer is not None:
+        rig.tracer.finish_open()
     rig.metrics.prefetch_used = rig.client_agent.stats.prefetch_hits
     sched = rig.lors.scheduler
     rig.metrics.deduped = sched.registry.stats.deduped

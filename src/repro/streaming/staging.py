@@ -25,6 +25,7 @@ from ..lon.ibp import Depot
 from ..lon.lors import CopyJob, Deferred, LoRS
 from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue, Process
+from ..obs.tracer import NULL_TRACER, Tracer
 from .agent import ClientAgent
 from .dvs import DVSServer
 
@@ -71,6 +72,7 @@ class StagingPump:
         order: str = "proximity",
         lease_duration: float = 3600.0,
         cancel_beyond: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``cancel_beyond``: on a cursor move, in-flight copies farther
         than this view-set grid distance from the new cursor are cancelled
@@ -103,6 +105,8 @@ class StagingPump:
         self.stats = StagingStats()
         self._process = Process(queue, self._tick, "staging-pump")
         self._sorted = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._spans: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -171,10 +175,14 @@ class StagingPump:
                 break
             self._in_flight.add(vid)
             self._inflight_keys[vid] = key
+            span = self.tracer.begin(f"stage:{vid}", category="staging",
+                                     viewset=vid)
+            self._spans[vid] = span
             self.registry.register(
                 vid, "staging", Priority.STAGING,
                 promote_cb=lambda p, v=vid: self._promote(v, p),
                 cancel_cb=lambda v=vid, k=key: self._cancel(v, k),
+                span=span,
             )
             self._stage_one(key, vid)
 
@@ -199,6 +207,9 @@ class StagingPump:
         self._inflight_keys.pop(vid, None)
         self._jobs.pop(vid, None)
         self._priority.pop(vid, None)
+        span = self._spans.pop(vid, None)
+        if span is not None:
+            span.finish(state="requeued" if requeue else "staged")
         if requeue:
             self._pending.insert(0, key)
 
@@ -241,6 +252,7 @@ class StagingPump:
             exnode, self.lan_depot, duration=self.lease_duration, soft=True,
             max_streams=self.streams_per_copy,
             priority=self._priority.get(vid, Priority.STAGING),
+            span=self._spans.get(vid),
         )
         self._jobs[vid] = deferred.job  # type: ignore[attr-defined]
 

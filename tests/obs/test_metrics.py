@@ -1,0 +1,101 @@
+"""Unit tests for counters, gauges, log-scale histograms and the registry."""
+
+import math
+
+import pytest
+
+from repro.obs import LogHistogram, MetricsRegistry
+
+
+def test_counter_monotone():
+    reg = MetricsRegistry()
+    c = reg.counter("depot.d0.bytes")
+    c.inc(10)
+    c.inc()
+    assert c.value == 11
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert reg.counter("depot.d0.bytes") is c
+
+
+def test_gauge_tracks_extremes():
+    reg = MetricsRegistry()
+    g = reg.gauge("cache.fill")
+    g.set(0.5)
+    g.set(0.2)
+    g.set(0.8)
+    assert g.value == 0.8
+    assert g.min_seen == 0.2 and g.max_seen == 0.8
+    assert g.samples == 3
+
+
+def test_histogram_bucket_edges_are_geometric():
+    h = LogHistogram("lat", lo=1e-4, hi=1.0, buckets_per_decade=10)
+    assert len(h.edges) == 40
+    assert h.edges[-1] == pytest.approx(1.0)
+    ratios = [b / a for a, b in zip(h.edges, h.edges[1:])]
+    assert all(r == pytest.approx(10 ** 0.1) for r in ratios)
+
+
+def test_histogram_quantiles_have_relative_resolution():
+    h = LogHistogram("lat")
+    values = [1e-3] * 50 + [1e-2] * 45 + [0.5] * 5
+    for v in values:
+        h.observe(v)
+    assert h.total == 100
+    assert h.quantile(0.5) == pytest.approx(1e-3, rel=0.15)
+    assert h.quantile(0.95) == pytest.approx(1e-2, rel=0.15)
+    assert h.quantile(0.99) == pytest.approx(0.5, rel=0.15)
+    p = h.percentiles()
+    assert set(p) == {"p50", "p95", "p99"}
+    assert h.mean == pytest.approx(sum(values) / 100)
+
+
+def test_histogram_under_and_overflow():
+    h = LogHistogram("lat", lo=1e-4, hi=1.0)
+    h.observe(1e-6)
+    h.observe(5.0)
+    assert h.underflow == 1 and h.overflow == 1
+    assert h.quantile(0.0) <= 1e-4
+    assert h.quantile(1.0) == 5.0
+    with pytest.raises(ValueError):
+        h.observe(-1.0)
+    assert h.min_seen == 1e-6 and h.max_seen == 5.0
+
+
+def test_histogram_empty_and_bad_args():
+    h = LogHistogram("lat")
+    assert h.quantile(0.5) == 0.0
+    assert h.mean == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        LogHistogram("bad", lo=0.0)
+    with pytest.raises(ValueError):
+        LogHistogram("bad", lo=1.0, hi=0.5)
+
+
+def test_nonzero_buckets_compact():
+    h = LogHistogram("lat", buckets_per_decade=2)
+    h.observe(1e-3)
+    h.observe(1e-3)
+    h.observe(0.9)
+    rows = h.nonzero_buckets()
+    assert sum(c for _, _, c in rows) == 3
+    for lower, upper, _ in rows:
+        assert upper == pytest.approx(lower * math.sqrt(10))
+
+
+def test_registry_snapshot_shape():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(2)
+    reg.gauge("b").set(1.5)
+    reg.histogram("c").observe(0.01)
+    reg.histogram("empty")
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a": 2}
+    assert snap["gauges"]["b"]["value"] == 1.5
+    assert snap["gauges"]["b"]["samples"] == 1
+    assert snap["histograms"]["c"]["count"] == 1
+    assert snap["histograms"]["empty"]["min"] is None
+    assert {"p50", "p95", "p99"} <= set(snap["histograms"]["c"])

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.lightfield.lattice import CameraLattice
+from repro.lon.scheduler import TransferEvent
 from repro.streaming.metrics import AccessRecord, AccessSource, SessionMetrics
 from repro.streaming.trace import CursorSample, CursorTrace, standard_trace
 
@@ -164,3 +165,112 @@ class TestSessionMetrics:
         for key in ("case", "resolution", "hit_rate", "wan_rate",
                     "initial_phase", "mean_latency_s"):
             assert key in s
+
+    def test_out_of_order_completion_keeps_index_order(self):
+        """Slow fetches complete late; the series must stay index-sorted."""
+        m = SessionMetrics()
+        for index in (4, 1, 3, 5, 2):
+            m.record(rec(index, AccessSource.AGENT_CACHE, total=float(index)))
+        assert [a.index for a in m.accesses] == [1, 2, 3, 4, 5]
+        assert m.latency_series() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_duplicate_rejected_after_out_of_order_inserts(self):
+        m = SessionMetrics()
+        m.record(rec(3, AccessSource.WAN_DEPOT))
+        m.record(rec(1, AccessSource.AGENT_CACHE))
+        with pytest.raises(ValueError):
+            m.record(rec(3, AccessSource.AGENT_CACHE))
+
+    def test_upto_slices_by_index_not_list_position(self):
+        """Regression: with sparse indices ``upto`` must compare access
+        indices, not count list entries — index 7 is *not* among the first
+        five accesses just because five records exist."""
+        m = SessionMetrics()
+        m.record(rec(7, AccessSource.WAN_DEPOT))
+        m.record(rec(2, AccessSource.AGENT_CACHE))
+        m.record(rec(10, AccessSource.WAN_DEPOT))
+        m.record(rec(4, AccessSource.CLIENT_RESIDENT))
+        m.record(rec(5, AccessSource.LAN_DEPOT))
+        # indices <= 5: {2, 4, 5} -> no WAN, 2/3 hits
+        assert m.wan_rate(upto=5) == 0.0
+        assert m.hit_rate(upto=5) == pytest.approx(2 / 3)
+        assert m.rate(AccessSource.LAN_DEPOT, upto=5) == pytest.approx(1 / 3)
+        # indices <= 7 adds the WAN access
+        assert m.wan_rate(upto=7) == pytest.approx(1 / 4)
+        # an upto below every index is an empty pool, not a crash
+        assert m.wan_rate(upto=1) == 0.0
+        assert m.hit_rate(upto=1) == 0.0
+
+    def test_upto_unaffected_by_insertion_order(self):
+        a, b = SessionMetrics(), SessionMetrics()
+        records = [rec(3, AccessSource.WAN_DEPOT),
+                   rec(1, AccessSource.AGENT_CACHE),
+                   rec(2, AccessSource.AGENT_CACHE)]
+        for r in records:
+            a.record(r)
+        for r in sorted(records, key=lambda r: r.index):
+            b.record(r)
+        for upto in (1, 2, 3, None):
+            assert a.wan_rate(upto=upto) == b.wan_rate(upto=upto)
+            assert a.hit_rate(upto=upto) == b.hit_rate(upto=upto)
+
+
+def tev(label, event="completed", t=0.0, priority="DEMAND"):
+    return TransferEvent(time=t, label=label, priority=priority, event=event)
+
+
+class TestTransferEventAccounting:
+    """The five transfer label paths: dl: / copy: / ul: / gen: / to-client:."""
+
+    @pytest.fixture()
+    def metrics(self):
+        m = SessionMetrics()
+        for ev in (
+            tev("dl:vs-0-0[0]", "queued"),
+            tev("dl:vs-0-0[0]", "admitted"),
+            tev("dl:vs-0-0[0]", "completed"),
+            tev("dl:vs-0-1[2]", "cancelled"),
+            tev("copy:vs-0-0", "queued", priority="STAGING"),
+            tev("copy:vs-0-0", "completed", priority="STAGING"),
+            tev("ul:vs-0-3", "admitted", priority="STAGING"),
+            tev("gen:vs-0-4", "completed"),
+            tev("to-client:vs-0-0", "completed"),
+            tev("to-client:vs-0-5", "promoted"),
+        ):
+            m.record_transfer_event(ev)
+        return m
+
+    def test_prefix_filtering_selects_each_path(self, metrics):
+        assert len(metrics.transfer_events_for("dl:")) == 4
+        assert len(metrics.transfer_events_for("copy:")) == 2
+        assert len(metrics.transfer_events_for("ul:")) == 1
+        assert len(metrics.transfer_events_for("gen:")) == 1
+        assert len(metrics.transfer_events_for("to-client:")) == 2
+
+    def test_prefix_filtering_is_exact_prefix(self, metrics):
+        # "to-client:" labels must not leak into a bare "client" query,
+        # nor "ul:" into "dl:"
+        assert metrics.transfer_events_for("client") == []
+        assert all(e.label.startswith("dl:")
+                   for e in metrics.transfer_events_for("dl:"))
+        assert len(metrics.transfer_events_for("")) == 10
+
+    def test_prefix_can_target_one_transfer(self, metrics):
+        events = metrics.transfer_events_for("dl:vs-0-0")
+        assert [e.event for e in events] == [
+            "queued", "admitted", "completed"]
+
+    def test_event_counts_across_paths(self, metrics):
+        counts = metrics.transfer_event_counts()
+        assert counts == {
+            "queued": 2,
+            "admitted": 2,
+            "completed": 4,
+            "cancelled": 1,
+            "promoted": 1,
+        }
+
+    def test_empty_metrics_have_no_events(self):
+        m = SessionMetrics()
+        assert m.transfer_event_counts() == {}
+        assert m.transfer_events_for("dl:") == []
