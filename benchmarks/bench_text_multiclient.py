@@ -1,0 +1,163 @@
+"""Simulation-core scaling benchmark: N concurrent clients, two rebalancers.
+
+The multi-client harness is where the O(flows × links) full recompute stops
+being affordable: every flow arrival/departure/pause re-rates *every* flow
+and reschedules *every* completion event, so session cost grows
+quadratically with client count.  The incremental rebalancer bounds each
+trigger to the affected link/flow component, coalesces same-instant
+triggers, epsilon-gates event rescheduling, vectorizes large water-filling
+passes — and, in the window-capped steady state this workload lives in,
+skips the flush entirely: when every link on a flow's path keeps headroom
+for the sum of its members' TCP-window ceilings, admitting or retiring the
+flow pins it at its own ceiling and re-rates nobody (``fast_rated``).
+
+The workload is a 64-client browsing fleet staging 256 KiB blocks through
+an 8 KiB-window WAN (long flows, high concurrency): the full arm pays a
+whole-network water-fill for each of its ~30k triggers while the
+incremental arm answers almost all of them with an O(path) headroom check.
+
+This benchmark runs identical N-client sessions under both arms for
+N ∈ {1, 8, 32, 64} (reduced under ``REPRO_SCALE=small``), records wall
+time and simulation throughput (events fired per wall second) in
+``BENCH_scale.json``, and asserts:
+
+* the arms are *equivalent*: same per-client access counts (the allocation
+  itself is checked to 1e-9 by the property tests in
+  ``tests/lon/test_network_properties.py``);
+* incremental is never slower than full recompute;
+* at the largest N of a full-scale run, incremental is >= 3x faster.
+"""
+
+import os
+
+from repro.lightfield import CameraLattice, SyntheticSource
+from repro.lon import gbps, mbps
+from repro.streaming import (
+    MultiClientConfig,
+    SessionConfig,
+    run_multiclient_session,
+)
+
+_SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+CLIENT_COUNTS = [1, 4, 8] if _SMALL else [1, 8, 32, 64]
+ARMS = ("incremental", "full")
+
+
+def _run(n_clients: int, rebalance: str, source):
+    config = MultiClientConfig(
+        base=SessionConfig(
+            case=3,
+            n_accesses=8 if _SMALL else 15,
+            wan_bandwidth=gbps(2.0),
+            wan_latency=0.08,
+            depot_access_bandwidth=mbps(400.0),
+            tcp_window=8 * 1024,
+            block_size=256 * 1024,
+            staging_concurrency=16,
+            staging_streams=4,
+            prefetch_policy="all-neighbors",
+            network_rebalance=rebalance,
+        ),
+        n_clients=n_clients,
+        seed_stride=101,
+        start_stagger=0.25,
+    )
+    return run_multiclient_session(source, config)
+
+
+def test_multiclient_scaling(report, bench_json):
+    if _SMALL:
+        lattice = CameraLattice(n_theta=9, n_phi=18, l=3)
+        source = SyntheticSource(lattice, resolution=48)
+    else:
+        lattice = CameraLattice(n_theta=30, n_phi=60, l=3)
+        source = SyntheticSource(lattice, resolution=64)
+
+    rows = []
+    by_key = {}
+    for n in CLIENT_COUNTS:
+        for arm in ARMS:
+            result = _run(n, arm, source)
+            agg = result.aggregate()
+            by_key[(n, arm)] = (result, agg)
+            rows.append({
+                "n_clients": n,
+                "rebalance": arm,
+                "wall_s": round(result.wall_seconds, 4),
+                "events_fired": result.events_fired,
+                "events_per_second": round(result.events_per_second, 1),
+                "sim_s": round(result.sim_seconds, 2),
+                "accesses": agg["accesses"],
+                "mean_latency_s": agg["mean_latency"],
+                "recomputes": agg["rebalance_recomputes"],
+                "full_recomputes": agg["rebalance_full_recomputes"],
+                "coalesced": agg["rebalance_coalesced"],
+                "vectorized": agg["rebalance_vectorized"],
+                "fast_rated": result.rebalance["fast_rated"],
+                "all_capped": result.rebalance["all_capped"],
+                "queue_compactions": agg["queue_compactions"],
+            })
+
+    lines = [
+        f"Multi-client scaling (case 3, {'small' if _SMALL else 'full'} "
+        f"scale, {len(CLIENT_COUNTS)} fleet sizes x 2 rebalance arms)",
+        f"{'N':>4} {'arm':<12} {'wall s':>9} {'events':>9} "
+        f"{'events/s':>10} {'speedup':>8}",
+    ]
+    speedups = {}
+    for n in CLIENT_COUNTS:
+        full_wall = by_key[(n, "full")][0].wall_seconds
+        for arm in ARMS:
+            result, _ = by_key[(n, arm)]
+            speedup = (full_wall / result.wall_seconds
+                       if arm == "incremental" and result.wall_seconds else 1.0)
+            if arm == "incremental":
+                speedups[n] = speedup
+            lines.append(
+                f"{n:>4} {arm:<12} {result.wall_seconds:>9.4f} "
+                f"{result.events_fired:>9} "
+                f"{result.events_per_second:>10.0f} "
+                f"{speedup:>7.2f}x"
+            )
+    report("multiclient_scaling", "\n".join(lines))
+
+    n_max = CLIENT_COUNTS[-1]
+    bench_json("scale", {
+        "benchmark": "multiclient_scaling",
+        "scale": "small" if _SMALL else "full",
+        "case": 3,
+        "client_counts": CLIENT_COUNTS,
+        "runs": rows,
+        "speedup_at_max": round(speedups[n_max], 2),
+        "speedups": {str(n): round(s, 2) for n, s in speedups.items()},
+    })
+
+    for n in CLIENT_COUNTS:
+        inc, inc_agg = by_key[(n, "incremental")]
+        full, full_agg = by_key[(n, "full")]
+        # equivalence: both arms deliver every access for every client
+        assert inc_agg["accesses"] == full_agg["accesses"]
+        assert [len(m.accesses) for m in inc.per_client] == \
+               [len(m.accesses) for m in full.per_client]
+        # the incremental arm actually ran incrementally: no whole-network
+        # recomputes, every trigger either flushed a dirty component or was
+        # absorbed outright by the quiet-link fast path
+        assert inc.rebalance["full_recomputes"] == 0
+        assert inc.rebalance["recomputes"] + inc.rebalance["fast_rated"] > 0
+        assert full.rebalance["recomputes"] == 0
+        assert full.rebalance["full_recomputes"] > 0
+
+    # perf: incremental must never lose to the full recompute (10% + 50 ms
+    # noise allowance at the tiny end where both are sub-second)
+    for n in CLIENT_COUNTS:
+        inc_wall = by_key[(n, "incremental")][0].wall_seconds
+        full_wall = by_key[(n, "full")][0].wall_seconds
+        assert inc_wall <= full_wall * 1.10 + 0.05, (
+            f"incremental slower than full at N={n}: "
+            f"{inc_wall:.4f}s vs {full_wall:.4f}s"
+        )
+    if not _SMALL:
+        assert speedups[n_max] >= 3.0, (
+            f"incremental speedup at N={n_max} is {speedups[n_max]:.2f}x, "
+            "expected >= 3x"
+        )

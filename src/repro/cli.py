@@ -9,6 +9,8 @@ Usage (``python -m repro <command>``):
 * ``render``   — synthesize a novel view from a saved database into a PPM;
 * ``session``  — run a streaming Case 1/2/3 experiment and print the
   summary table (``--trace out.json`` saves a Chrome/Perfetto trace);
+* ``multiclient`` — run N concurrent browsing clients against one shared
+  depot fleet and report per-client + fleet metrics and sim throughput;
 * ``trace-report`` — per-access waterfall + per-stage latency table from a
   saved trace file.
 """
@@ -169,6 +171,48 @@ def cmd_session(args) -> int:
     return 0
 
 
+def cmd_multiclient(args) -> int:
+    from .experiments import format_table
+    from .lightfield import SyntheticSource
+    from .streaming import (
+        MultiClientConfig,
+        SessionConfig,
+        run_multiclient_session,
+    )
+
+    lattice = _lattice_from_args(args)
+    source = SyntheticSource(lattice, resolution=args.resolution)
+    config = MultiClientConfig(
+        base=SessionConfig(
+            case=args.case,
+            n_accesses=args.accesses,
+            trace_seed=args.seed,
+            network_rebalance=args.rebalance,
+        ),
+        n_clients=args.clients,
+        seed_stride=args.seed_stride,
+        start_stagger=args.stagger,
+    )
+    result = run_multiclient_session(source, config)
+    rows = []
+    for m in result.per_client:
+        s = m.summary()
+        rows.append([s["case"], s["accesses"], s["hit_rate"], s["wan_rate"],
+                     s["mean_latency_s"]])
+    print(format_table(
+        headers=["client", "accesses", "hit rate", "wan rate", "mean s"],
+        rows=rows,
+    ))
+    agg = result.aggregate()
+    print(f"\n{agg['n_clients']} clients, {agg['accesses']} accesses, "
+          f"fleet mean latency {agg['mean_latency']} s")
+    print(f"simulated {agg['sim_seconds']} s in {agg['wall_seconds']} s wall "
+          f"({agg['events_fired']} events, "
+          f"{agg['events_per_second']:.0f} events/s, "
+          f"rebalance={agg['rebalance']})")
+    return 0
+
+
 def cmd_trace_report(args) -> int:
     from .obs import trace_report
 
@@ -232,6 +276,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run with tracing on and save a Chrome trace JSON "
                         "(per-case suffix added when multiple cases run)")
     s.set_defaults(func=cmd_session)
+
+    mc = sub.add_parser(
+        "multiclient",
+        help="run N concurrent browsing clients on one shared depot fleet",
+    )
+    mc.add_argument("--clients", type=int, default=8)
+    mc.add_argument("--case", type=int, default=3, choices=[1, 2, 3])
+    mc.add_argument("--resolution", type=int, default=100)
+    mc.add_argument("--accesses", type=int, default=20,
+                    help="view-set accesses per client")
+    mc.add_argument("--seed", type=int, default=7)
+    mc.add_argument("--seed-stride", type=int, default=101,
+                    help="per-client trace-seed offset (0 = same path)")
+    mc.add_argument("--stagger", type=float, default=1.0,
+                    help="per-client start delay in seconds")
+    mc.add_argument("--lattice", default="12x24x3")
+    mc.add_argument("--rebalance", default="incremental",
+                    choices=["incremental", "full"],
+                    help="network re-rating strategy")
+    mc.set_defaults(func=cmd_multiclient)
 
     t = sub.add_parser(
         "trace-report",

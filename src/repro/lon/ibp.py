@@ -24,10 +24,11 @@ lazily on access and eagerly by a reaper process.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .simtime import EventQueue, Process
 
@@ -172,6 +173,12 @@ class Depot:
         self.capacity = int(capacity)
         self.max_duration = float(max_duration)
         self._allocs: Dict[str, Allocation] = {}
+        # incremental capacity accounting: bytes committed to allocations
+        # currently in _allocs, plus a lazy (expires_at, key) min-heap so
+        # purging touches only actually-expired leases instead of sweeping
+        # the whole table on every allocate/free (O(n) -> O(expired))
+        self._committed: int = 0
+        self._expiry_heap: List[Tuple[float, str]] = []
         self._keyseq = itertools.count(1)
         self.stats = DepotStats()
         self._reaper = Process(queue, self._reap_tick, f"reaper:{name}")
@@ -182,20 +189,31 @@ class Depot:
     @property
     def used(self) -> int:
         """Bytes currently committed to live allocations."""
-        now = self.queue.now
-        return sum(a.size for a in self._allocs.values() if a.live(now))
+        self._purge_expired()
+        return self._committed
 
     @property
     def free(self) -> int:
         """Bytes available for new hard allocations (after purging dead)."""
         self._purge_expired()
-        return self.capacity - self.used
+        return self.capacity - self._committed
+
+    def _drop(self, key: str) -> None:
+        """Remove an allocation and release its committed bytes."""
+        alloc = self._allocs.pop(key)
+        self._committed -= alloc.size
 
     def _purge_expired(self) -> None:
         now = self.queue.now
-        dead = [k for k, a in self._allocs.items() if not a.live(now)]
-        for k in dead:
-            del self._allocs[k]
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now:
+            _, key = heapq.heappop(heap)
+            alloc = self._allocs.get(key)
+            if alloc is None:
+                continue  # already reclaimed; stale heap entry
+            if alloc.expires_at > now:
+                continue  # lease was extended; a fresher entry exists
+            self._drop(key)
             self.stats.expired += 1
 
     def _revoke_soft(self, needed: int) -> int:
@@ -208,7 +226,7 @@ class Depot:
         for a in soft:
             if freed >= needed:
                 break
-            del self._allocs[a.key]
+            self._drop(a.key)
             self.stats.revoked_soft += 1
             freed += a.size
         return freed
@@ -246,12 +264,15 @@ class Depot:
                 f"{self.name}: over-allocation ({size} > {avail} free)"
             )
         key = f"a{next(self._keyseq):08d}"
+        expires_at = self.queue.now + duration
         self._allocs[key] = Allocation(
             key=key,
             size=size,
-            expires_at=self.queue.now + duration,
+            expires_at=expires_at,
             soft=soft,
         )
+        self._committed += size
+        heapq.heappush(self._expiry_heap, (expires_at, key))
         return (
             Capability(self.name, key, CapType.READ),
             Capability(self.name, key, CapType.WRITE),
@@ -271,7 +292,7 @@ class Depot:
         if alloc is None:
             raise IBPNoSuchCapError(f"{self.name}: no allocation {cap.key}")
         if not alloc.live(self.queue.now):
-            del self._allocs[cap.key]
+            self._drop(cap.key)
             self.stats.expired += 1
             raise IBPExpiredError(f"{self.name}: allocation {cap.key} expired")
         return alloc
@@ -355,6 +376,7 @@ class Depot:
                 f"{self.name}: lease extension beyond max duration"
             )
         alloc.expires_at = new_expiry
+        heapq.heappush(self._expiry_heap, (new_expiry, alloc.key))
         return new_expiry
 
     def manage_decrement(self, cap: Capability) -> None:
@@ -362,7 +384,7 @@ class Depot:
         alloc = self._resolve(cap, CapType.MANAGE)
         alloc.refcount -= 1
         if alloc.refcount <= 0:
-            del self._allocs[cap.key]
+            self._drop(cap.key)
 
     def manage_increment(self, cap: Capability) -> None:
         """Add one reference (used when an exNode is shared)."""

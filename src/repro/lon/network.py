@@ -18,20 +18,46 @@ the paper's evaluation depends on:
 * **pause/resume**: a flow can be taken out of bandwidth contention without
   losing its progress (strict-preemption scheduling) and resumed later;
 * **dynamic re-rating**: whenever a flow starts, finishes, pauses, resumes or
-  changes weight, all flow rates are recomputed and completion events
+  changes weight, affected flow rates are recomputed and completion events
   rescheduled.
 
 Routing is shortest-path by latency over a :mod:`networkx` graph.  Transfers
 deliver their completion callback after ``path propagation latency +
 serialization time at the allocated rate``.
+
+Two rebalancing modes govern how re-rating scales (``rebalance=``):
+
+* ``"incremental"`` (default) — per-link flow membership is tracked; a
+  change marks its links dirty, triggers at the same timestamp coalesce
+  into one recompute (a flush event), water-filling runs only over the
+  connected component of links/flows reachable from the dirty set, large
+  components take a vectorized numpy path, and completion events are
+  rescheduled only for flows whose rate moved beyond ``rate_epsilon``.
+  Rates and completion events are authoritative once :meth:`Network.flush`
+  has run — which happens automatically before any event at a later
+  timestamp fires; synchronous callers inspecting ``Flow.rate`` right
+  after a change should call ``flush()`` first.
+* ``"full"`` — every change synchronously recomputes all flows and
+  reschedules every completion event (O(flows × links) per change); kept
+  as the reference implementation and the benchmark baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import networkx as nx
+import numpy as np
 
 from .simtime import Event, EventQueue
 
@@ -41,9 +67,14 @@ __all__ = [
     "Network",
     "NetworkError",
     "NoRouteError",
+    "RebalanceStats",
+    "REBALANCE_MODES",
     "mbps",
     "gbps",
 ]
+
+#: accepted values for ``Network(rebalance=...)``
+REBALANCE_MODES = ("incremental", "full")
 
 
 def mbps(x: float) -> float:
@@ -124,6 +155,17 @@ class Flow:
     on_rate_change: Optional[Callable[["Flow", float], None]] = field(
         default=None, init=False
     )
+    #: cached numpy row indices of path_links in the network's global link
+    #: table (filled lazily by the vectorized water-fill; never changes
+    #: because a flow's path and the link table rows are both immutable)
+    link_rows: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False
+    )
+    #: same rows as a plain int tuple, used by the membership/BFS
+    #: bookkeeping where int hashing beats frozenset hashing
+    link_row_ids: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -140,6 +182,23 @@ class Flow:
         return self.finish_time - self.start_time
 
 
+@dataclass
+class RebalanceStats:
+    """Counters sizing the rebalancer's work (for benchmarks and tests)."""
+
+    recomputes: int = 0          # incremental flush passes that did work
+    full_recomputes: int = 0     # whole-network recomputes (full mode)
+    coalesced: int = 0           # triggers absorbed into a pending flush
+    component_flows: int = 0     # flows water-filled by incremental passes
+    flows_rerated: int = 0       # flows whose allocated rate changed
+    events_rescheduled: int = 0  # completion events cancelled + reissued
+    vectorized: int = 0          # recomputes that took the numpy path
+    all_capped: int = 0          # recomputes resolved by the window-cap
+                                 # fast path (no water-filling rounds)
+    fast_rated: int = 0          # triggers absorbed without any flush: the
+                                 # flow's links all had cap-sum headroom
+
+
 class Network:
     """Topology container + flow scheduler.
 
@@ -153,16 +212,62 @@ class Network:
     RPC_OVERHEAD = 0.0005
 
     def __init__(self, queue: EventQueue,
-                 tcp_window: Optional[float] = None) -> None:
+                 tcp_window: Optional[float] = None,
+                 rebalance: str = "incremental",
+                 rate_epsilon: float = 1e-9,
+                 vectorize_threshold: int = 24) -> None:
         """``tcp_window`` (bytes) caps each flow at window/RTT — the
         single-stream TCP throughput ceiling that makes multi-stream LoRS
-        downloads and third-party staging worthwhile.  None = uncapped."""
+        downloads and third-party staging worthwhile.  None = uncapped.
+
+        ``rebalance`` selects the re-rating strategy (see module docstring);
+        ``rate_epsilon`` is the relative rate change below which a flow's
+        completion event is left in place (the drain check self-corrects);
+        ``vectorize_threshold`` is the component size (flows) at which
+        water-filling switches to the numpy incidence-matrix path.
+        """
+        if rebalance not in REBALANCE_MODES:
+            raise ValueError(
+                f"rebalance must be one of {REBALANCE_MODES}, "
+                f"got {rebalance!r}"
+            )
+        if rate_epsilon < 0:
+            raise ValueError("rate_epsilon must be non-negative")
         self.queue = queue
         self.tcp_window = tcp_window
+        self.rebalance_mode = rebalance
+        self.rate_epsilon = rate_epsilon
+        self.vectorize_threshold = vectorize_threshold
+        self.stats = RebalanceStats()
         self.graph = nx.Graph()
         self._links: Dict[FrozenSet[str], Link] = {}
         self._flows: List[Flow] = []
         self._route_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        # incremental-rebalance state: link row -> ids of *contending*
+        # flows (admitted, not paused, not drained), the id -> flow map
+        # backing it, the dirty row seeds, and the pending same-timestamp
+        # flush.  Links are identified by their stable int row from
+        # ``_row_of`` so the hot closure walk hashes ints, not frozensets.
+        self._members: Dict[int, Set[int]] = {}
+        self._flow_by_id: Dict[int, Flow] = {}
+        self._dirty: Set[int] = set()
+        self._flush_event: Optional[Event] = None
+        # stable global link rows for the vectorized water-fill: each link
+        # key gets a permanent row index and a bandwidth slot, so per-call
+        # incidence construction is pure numpy indexing
+        self._row_of: Dict[FrozenSet[str], int] = {}
+        self._row_bw: List[float] = []
+        self._row_bw_arr: Optional[np.ndarray] = None
+        # per-row admission accounting for the quiet fast path: the sum of
+        # member TCP-window ceilings, the number of uncapped members, and
+        # whether the row could possibly constrain anyone ("over": some
+        # member is uncapped, or the ceilings alone oversubscribe it).  A
+        # flow whose rows are all not-over is pinned at its own ceiling by
+        # max-min fairness, and admitting/removing it cannot re-rate any
+        # other flow — so those triggers skip the flush entirely.
+        self._row_capload: List[float] = []
+        self._row_unc: List[int] = []
+        self._row_over: List[bool] = []
 
     # ------------------------------------------------------------------
     # topology
@@ -179,6 +284,20 @@ class Network:
         self._links[link.key] = link
         self.graph.add_edge(a, b, latency=latency)
         self._route_cache.clear()
+        row = self._row_of.get(link.key)
+        if row is None:
+            self._row_of[link.key] = len(self._row_bw)
+            self._row_bw.append(link.bandwidth)
+            self._row_capload.append(0.0)
+            self._row_unc.append(0)
+            self._row_over.append(False)
+        else:  # replaced link: keep the row, refresh its bandwidth
+            self._row_bw[row] = link.bandwidth
+            self._row_over[row] = (
+                self._row_unc[row] > 0
+                or self._row_capload[row] > link.bandwidth
+            )
+        self._row_bw_arr = None
         return link
 
     def link_between(self, a: str, b: str) -> Link:
@@ -240,22 +359,26 @@ class Network:
     def link_utilization(self) -> Dict[Tuple[str, str], float]:
         """Instantaneous utilization (allocated rate / capacity) per link.
 
-        Paused flows and flows in their propagation tail consume no
-        bandwidth; a downed link reads 0.  Values are clamped to [0, 1]
-        (transient float excess from water-filling rounds down).
+        Served from the rebalancer's cached membership and rate map (after
+        flushing any pending rebalance) instead of re-deriving fair shares,
+        so obs samplers can tick cheaply.  Paused flows and flows in their
+        propagation tail consume no bandwidth; a downed link reads 0.
+        Values are clamped to [0, 1] (transient float excess from
+        water-filling rounds down).
         """
-        load: Dict[FrozenSet[str], float] = {}
-        for f in self._flows:
-            if f.paused or f.drained_at is not None or f.rate <= 0:
-                continue
-            if f.rate == float("inf"):
-                continue  # unconstrained: no capacity-limited link en route
-            for lk in f.path_links:
-                load[lk] = load.get(lk, 0.0) + f.rate
+        self.flush()
+        inf = float("inf")
         out: Dict[Tuple[str, str], float] = {}
         for key, link in self._links.items():
-            util = load.get(key, 0.0) / link.bandwidth if link.up else 0.0
-            out[(link.a, link.b)] = min(1.0, util)
+            if not link.up:
+                out[(link.a, link.b)] = 0.0
+                continue
+            load = 0.0
+            for fid in self._members.get(self._row_of[key], ()):
+                rate = self._flow_by_id[fid].rate
+                if 0 < rate < inf:
+                    load += rate
+            out[(link.a, link.b)] = min(1.0, load / link.bandwidth)
         return out
 
     # ------------------------------------------------------------------
@@ -309,7 +432,17 @@ class Network:
             rtt = max(2.0 * flow.prop_latency, 1e-6)
             flow.rate_cap = self.tcp_window / rtt
         self._flows.append(flow)
-        self._rebalance()
+        self._flow_by_id[id(flow)] = flow
+        self._admit(flow)
+        if flow.rate_cap != float("inf") and self._quiet(flow):
+            # every link keeps cap-sum headroom even with this flow at its
+            # window ceiling: pin it there and leave everyone else alone
+            flow.rate = flow.rate_cap
+            self.stats.flows_rerated += 1
+            self.stats.fast_rated += 1
+            self._reschedule(flow, now)
+        else:
+            self._poke(self._rows_for(flow))
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -321,119 +454,482 @@ class Network:
             self.queue.cancel(flow._completion_event)
             flow._completion_event = None
         if flow in self._flows:
-            self._flows.remove(flow)
-            self._rebalance()
+            quiet = self._quiet(flow)
+            self._remove(flow)
+            if quiet:
+                self.stats.fast_rated += 1
+            else:
+                self._poke(self._rows_for(flow))
 
     def pause_flow(self, flow: Flow) -> None:
         """Take a flow out of bandwidth contention, keeping its progress.
 
         A paused flow stops draining (rate 0) but stays admitted; survivors
-        sharing its links are re-rated immediately.  Used by the transfer
-        scheduler's strict-preemption policy.  No-op on finished flows.
+        sharing its links are re-rated.  Used by the transfer scheduler's
+        strict-preemption policy.  No-op on finished flows.
         """
         if flow.done or flow.failed or flow.paused:
             return
         flow.paused = True
-        if flow in self._flows and flow.drained_at is None:
-            self._rebalance()
+        if flow not in self._flows:
+            return
+        self._settle_flow(flow, self.queue.now)
+        if flow.drained_at is not None:
+            return  # propagation tail: already out of contention
+        quiet = self._quiet(flow)
+        self._expel(flow)
+        old_rate = flow.rate
+        flow.rate = 0.0
+        if flow._completion_event is not None:
+            self.queue.cancel(flow._completion_event)
+            flow._completion_event = None
+        if flow.on_rate_change is not None and old_rate != 0.0:
+            flow.on_rate_change(flow, old_rate)
+        if quiet:
+            self.stats.fast_rated += 1
+        else:
+            self._poke(self._rows_for(flow))
 
     def resume_flow(self, flow: Flow) -> None:
         """Re-admit a paused flow to bandwidth contention."""
         if flow.done or flow.failed or not flow.paused:
             return
         flow.paused = False
-        if flow in self._flows:
-            self._rebalance()
+        if flow not in self._flows or flow.drained_at is not None:
+            return
+        flow.last_update = self.queue.now  # no progress while paused
+        self._admit(flow)
+        if flow.rate_cap != float("inf") and self._quiet(flow):
+            flow.rate = flow.rate_cap
+            self.stats.flows_rerated += 1
+            self.stats.fast_rated += 1
+            if flow.on_rate_change is not None:
+                flow.on_rate_change(flow, 0.0)
+            self._reschedule(flow, self.queue.now)
+        else:
+            self._poke(self._rows_for(flow))
 
     def set_flow_weight(self, flow: Flow, weight: float) -> None:
-        """Change a flow's fair-share weight mid-transfer (re-rates all)."""
+        """Change a flow's fair-share weight mid-transfer (re-rates peers)."""
         if weight <= 0:
             raise ValueError("flow weight must be positive")
         if flow.weight == weight:
             return
         flow.weight = weight
         if flow in self._flows and not (flow.done or flow.failed):
-            self._rebalance()
+            if self._quiet(flow):
+                # every member sits at its own window ceiling regardless of
+                # weight: nothing to re-rate
+                self.stats.fast_rated += 1
+            else:
+                self._poke(self._rows_for(flow))
 
-    # -- internals ------------------------------------------------------
-    def _settle(self, now: float) -> None:
-        """Drain each flow's progress up to ``now`` at its current rate."""
-        for f in self._flows:
-            dt = now - f.last_update
-            if dt > 0:
-                if f.rate > 0 and f.drained_at is None:
-                    t_drain = f.last_update + f.remaining / f.rate
-                    if t_drain <= now + 1e-12:
-                        f.drained_at = t_drain
-                if f.drained_at is not None:
-                    f.remaining = 0.0  # exact: no float residue
-                else:
-                    f.remaining = max(0.0, f.remaining - f.rate * dt)
-                f.last_update = now
+    # -- incremental-rebalance bookkeeping -------------------------------
+    def _rows_for(self, flow: Flow) -> Tuple[int, ...]:
+        """The flow's path as stable link-table row ids (cached)."""
+        rows = flow.link_row_ids
+        if rows is None:
+            row_of = self._row_of
+            rows = tuple(row_of[lk] for lk in flow.path_links)
+            flow.link_row_ids = rows
+        return rows
 
-    def _maxmin_rates(self) -> Dict[int, float]:
-        """Weighted max-min fair rate for every active flow (water-filling).
+    def _admit(self, flow: Flow) -> None:
+        """Add a contending flow to its links' membership sets."""
+        fid = id(flow)
+        cap = flow.rate_cap
+        finite = cap != float("inf")
+        capload, unc, over, bw = (
+            self._row_capload, self._row_unc, self._row_over, self._row_bw,
+        )
+        for row in self._rows_for(flow):
+            self._members.setdefault(row, set()).add(fid)
+            if finite:
+                capload[row] += cap
+            else:
+                unc[row] += 1
+            over[row] = unc[row] > 0 or capload[row] > bw[row]
+
+    def _expel(self, flow: Flow) -> None:
+        """Drop a flow from membership (paused, drained or gone)."""
+        fid = id(flow)
+        cap = flow.rate_cap
+        finite = cap != float("inf")
+        capload, unc, over, bw = (
+            self._row_capload, self._row_unc, self._row_over, self._row_bw,
+        )
+        for row in self._rows_for(flow):
+            fids = self._members.get(row)
+            if fids is not None:
+                fids.discard(fid)
+                if not fids:
+                    del self._members[row]
+            if finite:
+                capload[row] -= cap
+            else:
+                unc[row] -= 1
+            if row not in self._members:
+                capload[row] = 0.0  # idle row: shed any float drift
+                unc[row] = 0
+            over[row] = unc[row] > 0 or capload[row] > bw[row]
+
+    def _quiet(self, flow: Flow) -> bool:
+        """True when none of the flow's links can constrain any flow.
+
+        On every not-over row the member ceilings sum below bandwidth, so
+        the row is not a bottleneck for anyone: every member (this flow
+        included, once admitted) sits at its own TCP-window ceiling, and
+        adding or removing this flow cannot re-rate the others.  Callers
+        must evaluate this *before* an expel (the rows' pre-removal state
+        is what proves nobody was constrained) and *after* an admit.
+        """
+        if self.rebalance_mode == "full":
+            return False
+        row_over = self._row_over
+        for row in self._rows_for(flow):
+            if row_over[row]:
+                return False
+        return True
+
+    def _remove(self, flow: Flow) -> None:
+        """Take a flow out of the admitted set entirely."""
+        self._flows.remove(flow)
+        self._expel(flow)
+        self._flow_by_id.pop(id(flow), None)
+
+    def _poke(self, rows: Iterable[int]) -> None:
+        """Register a rebalance trigger for the given link rows.
+
+        Full mode recomputes synchronously (the seed behaviour).
+        Incremental mode marks the links dirty and arms one flush event at
+        the current timestamp, coalescing every further trigger at this
+        instant into a single recompute.
+        """
+        if self.rebalance_mode == "full":
+            self._rebalance_full()
+            return
+        self._dirty.update(rows)
+        if self._flush_event is None:
+            self._flush_event = self.queue.schedule(
+                self.queue.now, self._run_flush, "net-rebalance"
+            )
+        else:
+            self.stats.coalesced += 1
+
+    def _run_flush(self) -> None:
+        self._flush_event = None
+        self.flush()
+
+    def flush(self) -> None:
+        """Apply any pending rebalance now (no-op when nothing is dirty).
+
+        Runs automatically (via a same-timestamp event) before simulation
+        time can advance past a trigger; call it directly before reading
+        ``Flow.rate`` synchronously after starting or altering flows.
+        """
+        if self._flush_event is not None:
+            self.queue.cancel(self._flush_event)
+            self._flush_event = None
+        if not self._dirty:
+            return
+        now = self.queue.now
+        # closure: walk the bipartite link/flow graph from the dirty seeds;
+        # the component is closed (its flows touch only its links and vice
+        # versa), so water-filling it in isolation matches a global pass
+        members = self._members
+        flow_by_id = self._flow_by_id
+        comp_rows: Set[int] = set()
+        comp: List[Flow] = []
+        seen: Set[int] = set()
+        stack = [row for row in self._dirty if row in members]
+        self._dirty.clear()
+        while stack:
+            row = stack.pop()
+            if row in comp_rows:
+                continue
+            comp_rows.add(row)
+            for fid in members[row]:
+                if fid in seen:
+                    continue
+                seen.add(fid)
+                flow = flow_by_id[fid]
+                comp.append(flow)
+                for other in flow.link_row_ids:
+                    if other not in comp_rows and other in members:
+                        stack.append(other)
+        if not comp:
+            return
+        self.stats.recomputes += 1
+        self.stats.component_flows += len(comp)
+        # Settling is lazy: between rate changes the linear-drain invariant
+        # keeps ``remaining`` exact as of ``last_update``, so only flows
+        # that drained en route or whose rate is about to change need
+        # settling — the (common) untouched flow costs nothing here.
+        live: List[Flow] = []
+        for f in comp:
+            rem = f.remaining
+            if f.rate > 0.0:
+                rem -= f.rate * (now - f.last_update)
+            if f.drained_at is not None or rem <= 1e-9:
+                self._settle_flow(f, now)
+                self._retire(f)
+            else:
+                live.append(f)
+        rates = self._component_rates(live)
+        eps = self.rate_epsilon
+        for f in live:
+            new = rates.get(id(f), 0.0)
+            old = f.rate
+            if new != old:
+                self._settle_flow(f, now)
+                f.rate = new
+                self.stats.flows_rerated += 1
+                if f.on_rate_change is not None:
+                    f.on_rate_change(f, old)
+            # epsilon gate: identical (or nearly identical) rates keep
+            # their completion event — the drain check self-corrects any
+            # sub-epsilon drift in either direction
+            if (f._completion_event is not None
+                    and abs(new - old) <= eps * max(abs(new), abs(old))):
+                continue
+            self._reschedule(f, now)
+
+    def _settle_flow(self, f: Flow, now: float) -> None:
+        """Drain one flow's progress up to ``now`` at its current rate."""
+        dt = now - f.last_update
+        if dt > 0:
+            if f.rate > 0 and f.drained_at is None:
+                t_drain = f.last_update + f.remaining / f.rate
+                if t_drain <= now + 1e-12:
+                    f.drained_at = t_drain
+            if f.drained_at is not None:
+                f.remaining = 0.0  # exact: no float residue
+            else:
+                f.remaining = max(0.0, f.remaining - f.rate * dt)
+            f.last_update = now
+
+    def _reschedule(self, f: Flow, now: float) -> None:
+        """Re-arm one flow's completion event from its current rate."""
+        if f._completion_event is not None:
+            self.queue.cancel(f._completion_event)
+            f._completion_event = None
+        if f.rate <= 0:
+            return  # stalled; re-armed when a trigger frees bandwidth
+        serialization = (
+            0.0 if f.rate == float("inf") else f.remaining / f.rate
+        )
+        # the event fires when the last byte leaves the bottleneck; the
+        # flow then stops consuming bandwidth and delivery happens one
+        # propagation delay later.
+        f._completion_event = self.queue.schedule(
+            max(now + serialization, now),
+            lambda fl=f: self._drain_check(fl),
+            f"flow:{f.label}",
+        )
+        self.stats.events_rescheduled += 1
+
+    # -- water-filling ----------------------------------------------------
+    def _component_rates(self, flows: List[Flow]) -> Dict[int, float]:
+        """Weighted max-min fair rates for one closed component."""
+        capped = self._rates_all_capped(flows)
+        if capped is not None:
+            return capped
+        if len(flows) >= self.vectorize_threshold:
+            self.stats.vectorized += 1
+            return self._rates_vectorized(flows)
+        return self._rates_scalar(flows)
+
+    def _rates_all_capped(
+        self, flows: List[Flow]
+    ) -> Optional[Dict[int, float]]:
+        """Fast path: every flow pinned at its TCP-window ceiling.
+
+        When each flow has a finite ``rate_cap`` and no physical link is
+        oversubscribed even with every member at its cap, max-min fairness
+        assigns exactly ``rate_cap`` to everyone (each virtual cap link
+        saturates before any shared link does).  This is the steady state
+        of a well-provisioned WAN with window-limited streams — detecting
+        it costs one pass over the component, no water-filling rounds.
+        """
+        inf = float("inf")
+        load: Dict[int, float] = {}
+        for f in flows:
+            cap = f.rate_cap
+            if cap == inf:
+                return None
+            rows = f.link_row_ids
+            if rows is None:
+                rows = self._rows_for(f)
+            for row in rows:
+                load[row] = load.get(row, 0.0) + cap
+        row_bw = self._row_bw
+        for row, total in load.items():
+            if total > row_bw[row]:
+                return None
+        self.stats.all_capped += 1
+        return {id(f): f.rate_cap for f in flows}
+
+    def _rates_scalar(self, flows: Iterable[Flow]) -> Dict[int, float]:
+        """Water-filling over an explicit flow set (reference path).
 
         Each bottleneck link's capacity is split proportionally to flow
         weights; with all weights 1.0 this is the classic equal-share
-        max-min allocation.  Paused flows and flows whose bytes have fully
-        drained (propagation tail) consume no bandwidth.
+        max-min allocation.
         """
-        active = {
-            id(f): f for f in self._flows
-            if f.drained_at is None and not f.paused
-        }
-        caps: Dict[object, float] = {
-            k: l.bandwidth for k, l in self._links.items() if l.up
-        }
+        active = {id(f): f for f in flows}
+        weight = {fid: f.weight for fid, f in active.items()}
+        caps: Dict[object, float] = {}
         members: Dict[object, List[int]] = {}
+        # per-link sum of still-unassigned member weights, maintained
+        # decrementally so level selection is O(links) per round instead
+        # of O(links x members)
+        live_weight: Dict[object, float] = {}
         for fid, f in active.items():
+            w = weight[fid]
             for lk in f.path_links:
-                members.setdefault(lk, []).append(fid)
+                if lk not in caps:
+                    caps[lk] = self._links[lk].bandwidth
+                    members[lk] = []
+                    live_weight[lk] = 0.0
+                members[lk].append(fid)
+                live_weight[lk] += w
             if f.rate_cap != float("inf"):
                 # a flow's TCP-window ceiling is a virtual single-flow link
                 # (level = cap/weight, share = level*weight = rate_cap)
                 cap_key = ("cap", fid)
                 caps[cap_key] = f.rate_cap
                 members[cap_key] = [fid]
+                live_weight[cap_key] = w
         rates: Dict[int, float] = {}
         unassigned = set(active)
         while unassigned:
             # water level currently offered by each constrained link: the
             # per-unit-weight rate if the link alone were the bottleneck
             best_level = None
-            best_link = None
-            for lk, flows_on in members.items():
-                live_weight = sum(
-                    active[fid].weight for fid in flows_on
-                    if fid in unassigned
-                )
-                if live_weight <= 0:
+            for lk, lw in live_weight.items():
+                if lw <= 1e-15:
                     continue
-                level = caps[lk] / live_weight
+                level = caps[lk] / lw
                 if best_level is None or level < best_level:
                     best_level = level
-                    best_link = lk
-            if best_link is None:
+            if best_level is None:
                 # remaining flows traverse no capacity-constrained link
                 for fid in unassigned:
                     rates[fid] = float("inf")
                 break
-            for fid in list(members[best_link]):
-                if fid in unassigned:
-                    share = best_level * active[fid].weight
+            # saturate every link sitting exactly at the water level in one
+            # round: uniform-window uncongested fleets (all levels equal)
+            # then finish in a single pass instead of one round per flow
+            best_links = [
+                lk for lk, lw in live_weight.items()
+                if lw > 1e-15 and caps[lk] / lw == best_level
+            ]
+            for best_link in best_links:
+                for fid in members[best_link]:
+                    if fid not in unassigned:
+                        continue
+                    w = weight[fid]
+                    share = best_level * w
                     rates[fid] = share
                     unassigned.discard(fid)
                     for lk in active[fid].path_links:
                         if lk != best_link:
                             caps[lk] = max(0.0, caps[lk] - share)
-            caps[best_link] = 0.0
-            members.pop(best_link)
+                            if lk in live_weight:
+                                live_weight[lk] -= w
+                    cap_key = ("cap", fid)
+                    if cap_key != best_link and cap_key in live_weight:
+                        live_weight[cap_key] = 0.0
+                caps[best_link] = 0.0
+                live_weight.pop(best_link, None)
+                members.pop(best_link, None)
         return rates
 
-    def _rebalance(self) -> None:
-        """Recompute rates and reschedule all completion events."""
+    def _rates_vectorized(self, flows: List[Flow]) -> Dict[int, float]:
+        """Water-filling over a links×flows incidence matrix (numpy).
+
+        Used for large components, where the python inner loop dominates;
+        results match :meth:`_rates_scalar` up to float summation order.
+        """
+        n = len(flows)
+        bw = self._row_bw_arr
+        if bw is None:
+            bw = self._row_bw_arr = np.array(self._row_bw, dtype=float)
+        row_of = self._row_of
+        rows_parts: List[np.ndarray] = []
+        lens = np.empty(n, dtype=np.intp)
+        weights = np.empty(n, dtype=float)
+        flow_caps = np.empty(n, dtype=float)
+        for fi, f in enumerate(flows):
+            r = f.link_rows
+            if r is None:
+                r = np.fromiter(
+                    (row_of[lk] for lk in f.path_links),
+                    dtype=np.intp, count=len(f.path_links),
+                )
+                f.link_rows = r
+            rows_parts.append(r)
+            lens[fi] = len(r)
+            weights[fi] = f.weight
+            flow_caps[fi] = f.rate_cap
+        global_rows = np.concatenate(rows_parts)
+        cols = np.repeat(np.arange(n), lens)
+        uniq, inv = np.unique(global_rows, return_inverse=True)
+        m = len(uniq)
+        # TCP-window ceilings are virtual single-flow links appended below
+        # the physical rows (level = cap/weight, share = rate_cap)
+        capped = np.flatnonzero(np.isfinite(flow_caps))
+        k = len(capped)
+        incidence = np.zeros((m + k, n), dtype=float)
+        incidence[inv, cols] = 1.0
+        caps = bw[uniq]
+        if k:
+            incidence[m + np.arange(k), capped] = 1.0
+            caps = np.concatenate([caps, flow_caps[capped]])
+        live_link = np.ones(m + k, dtype=bool)
+        unassigned = np.ones(n, dtype=bool)
+        rates = np.full(n, np.inf)
+        while unassigned.any():
+            live_weight = incidence @ (weights * unassigned)
+            candidates = live_link & (live_weight > 0)
+            if not candidates.any():
+                break  # leftovers traverse no constrained link: rate inf
+            levels = np.where(
+                candidates,
+                caps / np.where(live_weight > 0, live_weight, 1.0),
+                np.inf,
+            )
+            level = float(levels.min())
+            # every link already sitting at the water level saturates in
+            # this round (uniform-cap fleets collapse to a single pass)
+            bottlenecks = levels == level
+            assigned = (incidence[bottlenecks].any(axis=0)) & unassigned
+            share = level * weights
+            rates[assigned] = share[assigned]
+            caps -= incidence @ np.where(assigned, share, 0.0)
+            np.maximum(caps, 0.0, out=caps)
+            caps[bottlenecks] = 0.0
+            live_link &= ~bottlenecks
+            unassigned &= ~assigned
+        return {id(f): float(r) for f, r in zip(flows, rates)}
+
+    # -- full recompute (reference + benchmark baseline) ------------------
+    def _settle(self, now: float) -> None:
+        """Drain every flow's progress up to ``now`` at its current rate."""
+        for f in self._flows:
+            self._settle_flow(f, now)
+
+    def _maxmin_rates(self) -> Dict[int, float]:
+        """Weighted max-min fair rate for every contending flow."""
+        return self._rates_scalar(
+            f for f in self._flows
+            if f.drained_at is None and not f.paused
+        )
+
+    def _rebalance_full(self) -> None:
+        """Recompute all rates and reschedule every completion event."""
         now = self.queue.now
+        self.stats.full_recomputes += 1
         self._settle(now)
         # retire any flow whose bytes drained since the last event; its
         # delivery is pinned at drained_at + propagation.
@@ -454,33 +950,48 @@ class Network:
             serialization = (
                 0.0 if f.rate == float("inf") else f.remaining / f.rate
             )
-            # the event fires when the last byte leaves the bottleneck; the
-            # flow then stops consuming bandwidth and delivery happens one
-            # propagation delay later.
             f._completion_event = self.queue.schedule(
                 max(now + serialization, now),
                 lambda fl=f: self._drain_check(fl),
                 f"flow:{f.label}",
             )
 
+    # -- drain / delivery --------------------------------------------------
     def _drain_check(self, flow: Flow) -> None:
         if flow.done or flow.failed:
             return
-        self._settle(self.queue.now)
-        if flow in self._flows and flow.remaining > 1e-6:
-            # rates changed since this event was scheduled; re-arm
-            self._rebalance()
+        if self.rebalance_mode == "full":
+            self._settle(self.queue.now)
+            if flow in self._flows and flow.remaining > 1e-6:
+                # rates changed since this event was scheduled; re-arm
+                self._rebalance_full()
+                return
+            if flow in self._flows:
+                self._retire(flow)
+                self._rebalance_full()
             return
-        if flow in self._flows:
-            self._retire(flow)
-            self._rebalance()
+        if flow not in self._flows:
+            return
+        now = self.queue.now
+        self._settle_flow(flow, now)
+        if flow.drained_at is None and flow.remaining > 1e-6:
+            # sub-epsilon rate drift left the old event slightly early;
+            # re-arm from the exact remaining bytes
+            self._reschedule(flow, now)
+            return
+        quiet = self._quiet(flow)
+        self._retire(flow)
+        if quiet:
+            self.stats.fast_rated += 1
+        else:
+            self._poke(self._rows_for(flow))
 
     def _retire(self, flow: Flow) -> None:
         """Remove a fully drained flow and schedule its delivery."""
         now = self.queue.now
         if flow.drained_at is None:
             flow.drained_at = now
-        self._flows.remove(flow)
+        self._remove(flow)
         if flow._completion_event is not None:
             self.queue.cancel(flow._completion_event)
         # keep the delivery event on the flow so a late cancel_flow() during
@@ -505,8 +1016,14 @@ class Network:
             self.queue.cancel(flow._completion_event)
             flow._completion_event = None
         if flow in self._flows:
-            self._flows.remove(flow)
-        self._rebalance()
+            quiet = self._quiet(flow)
+            self._remove(flow)
+            if quiet:
+                self.stats.fast_rated += 1
+            else:
+                self._poke(self._rows_for(flow))
+        elif self.rebalance_mode == "full":
+            self._poke(self._rows_for(flow))  # seed parity: recompute anyway
         if flow.on_fail is not None:
             flow.on_fail(flow, exc)
 

@@ -31,13 +31,15 @@ class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an inconsistent state."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Events compare by ``(time, seq)`` so that heap ordering is total even when
     two events share a timestamp.  ``cancelled`` events stay in the heap but
     are skipped when popped (lazy deletion), which keeps cancellation O(1).
+    ``__slots__`` matters at scale: rebalancing and scheduler retargeting
+    churn through millions of events per multi-client session.
     """
 
     time: float
@@ -46,10 +48,20 @@ class Event:
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
     fired: bool = field(default=False, compare=False)
+    queue: Optional["EventQueue"] = field(default=None, compare=False,
+                                          repr=False)
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it when it reaches the head."""
-        self.cancelled = True
+        """Cancel through the owning queue so live-count bookkeeping holds.
+
+        Both cancellation paths (``event.cancel()`` and
+        ``queue.cancel(event)``) route through :meth:`EventQueue.cancel`;
+        a detached event (no queue) just flips its flag.
+        """
+        if self.queue is not None:
+            self.queue.cancel(self)
+        elif not self.fired:
+            self.cancelled = True
 
 
 class SimClock:
@@ -91,13 +103,29 @@ class EventQueue:
     ``run_until`` executes events up to (and including) a horizon, which the
     streaming session harness uses to interleave user-input processing with
     background staging traffic.
+
+    Cancelled events are lazily deleted: they stay in the heap until popped.
+    Workloads that retarget heavily (rate rebalancing, prefetch
+    cancellation) can leave the heap mostly garbage, so whenever the
+    cancelled fraction exceeds ``compact_threshold`` (and the heap is at
+    least ``compact_min`` entries) the heap is compacted in O(n) — the
+    (time, seq) total order makes ``heapify`` deterministic.
     """
 
-    def __init__(self, clock: Optional[SimClock] = None) -> None:
+    def __init__(self, clock: Optional[SimClock] = None,
+                 compact_threshold: float = 0.5,
+                 compact_min: int = 512) -> None:
+        if not 0.0 < compact_threshold <= 1.0:
+            raise ValueError("compact_threshold must be in (0, 1]")
         self.clock = clock if clock is not None else SimClock()
+        self.compact_threshold = compact_threshold
+        self.compact_min = compact_min
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._live = 0  # number of non-cancelled events in the heap
+        self._garbage = 0  # cancelled events still sitting in the heap
+        self.compactions = 0  # times the heap was rebuilt (for tests/bench)
+        self.fired_total = 0  # events fired over the queue's lifetime
 
     def __len__(self) -> int:
         return self._live
@@ -118,7 +146,7 @@ class EventQueue:
                 f"cannot schedule into the past: now={self.clock.now}, t={time}"
             )
         ev = Event(time=max(time, self.clock.now), seq=next(self._seq),
-                   callback=callback, label=label)
+                   callback=callback, label=label, queue=self)
         heapq.heappush(self._heap, ev)
         self._live += 1
         return ev
@@ -136,6 +164,18 @@ class EventQueue:
         if not event.cancelled and not event.fired:
             event.cancelled = True
             self._live -= 1
+            self._garbage += 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once lazy-deletion garbage dominates it."""
+        if (len(self._heap) >= self.compact_min
+                and self._garbage >= self.compact_threshold
+                * len(self._heap)):
+            self._heap = [ev for ev in self._heap if not ev.cancelled]
+            heapq.heapify(self._heap)
+            self._garbage = 0
+            self.compactions += 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
@@ -145,6 +185,7 @@ class EventQueue:
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._garbage -= 1
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue was empty."""
@@ -154,6 +195,7 @@ class EventQueue:
         ev = heapq.heappop(self._heap)
         self._live -= 1
         ev.fired = True
+        self.fired_total += 1
         self.clock._advance_to(ev.time)
         ev.callback()
         return True

@@ -166,18 +166,41 @@ class SchedulerOccupancySampler(PeriodicSampler):
 
 
 class CacheSampler(PeriodicSampler):
-    """Client-agent cache fill and LAN-depot staging coverage."""
+    """Client-agent cache fill and LAN-depot staging coverage.
+
+    Accepts one agent or several (the multi-client harness).  A single
+    agent keeps the historical series names (``agent.cache.bytes`` ...);
+    with several, each agent's series is namespaced by its node
+    (``agent.<node>.cache.bytes``) and an aggregate ``agents.cache.bytes``
+    totals the fleet.
+    """
 
     def __init__(self, queue: "EventQueue", tracer: Tracer,
                  registry: MetricsRegistry, agent: object,
                  period: float = 0.5) -> None:
         super().__init__(queue, tracer, registry, period, "sample-cache")
-        self.agent = agent
+        self.agents = (list(agent) if isinstance(agent, (list, tuple))
+                       else [agent])
 
     def sample(self) -> None:
-        self.emit("agent.cache.bytes", self.agent._payload_total)
-        self.emit("agent.cache.payloads", len(self.agent._payloads))
-        self.emit("agent.staged.viewsets", len(self.agent._staged_lan))
+        if len(self.agents) == 1:
+            agent = self.agents[0]
+            self.emit("agent.cache.bytes", agent._payload_total)
+            self.emit("agent.cache.payloads", len(agent._payloads))
+            self.emit("agent.staged.viewsets", len(agent._staged_lan))
+            return
+        total_bytes = total_payloads = total_staged = 0
+        for agent in self.agents:
+            prefix = f"agent.{agent.node}"
+            self.emit(f"{prefix}.cache.bytes", agent._payload_total)
+            self.emit(f"{prefix}.cache.payloads", len(agent._payloads))
+            self.emit(f"{prefix}.staged.viewsets", len(agent._staged_lan))
+            total_bytes += agent._payload_total
+            total_payloads += len(agent._payloads)
+            total_staged += len(agent._staged_lan)
+        self.emit("agents.cache.bytes", total_bytes)
+        self.emit("agents.cache.payloads", total_payloads)
+        self.emit("agents.staged.viewsets", total_staged)
 
 
 def standard_samplers(
@@ -190,7 +213,12 @@ def standard_samplers(
     agent: object,
     period: float = 0.5,
 ) -> List[PeriodicSampler]:
-    """The full sampler set a traced session runs (not yet started)."""
+    """The full sampler set a traced session runs (not yet started).
+
+    ``agent`` may be a single client agent or a list of them (multi-client
+    sessions share one network/scheduler/depot fleet, so only the cache
+    sampler fans out).
+    """
     return [
         LinkUtilizationSampler(queue, tracer, registry, network, period),
         DepotSampler(queue, tracer, registry, depots, network, period),

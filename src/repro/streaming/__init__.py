@@ -7,6 +7,13 @@ from .agent import AgentStats, ClientAgent, HIT_LATENCY
 from .client import Client
 from .dvs import DVSResult, DVSServer
 from .metrics import AccessRecord, AccessSource, SessionMetrics
+from .multiclient import (
+    MultiClientConfig,
+    MultiClientResult,
+    MultiClientRig,
+    build_multiclient_rig,
+    run_multiclient_session,
+)
 from .prefetch import (
     AllNeighborsPolicy,
     NoPrefetchPolicy,
@@ -39,6 +46,9 @@ __all__ = [
     "DVSServer",
     "GenerationRequest",
     "HIT_LATENCY",
+    "MultiClientConfig",
+    "MultiClientResult",
+    "MultiClientRig",
     "NoPrefetchPolicy",
     "PrefetchPolicy",
     "QuadrantPolicy",
@@ -50,8 +60,10 @@ __all__ = [
     "StagingStats",
     "TemporalClient",
     "TimeVaryingSource",
+    "build_multiclient_rig",
     "build_rig",
     "parse_temporal_vid",
+    "run_multiclient_session",
     "policy_by_name",
     "run_session",
     "standard_trace",

@@ -324,6 +324,18 @@ class ClientAgent:
         flight = self._flights.get(vid)
         if flight is None or flight.cancelled:
             return
+        if vid in self.registry:
+            # several agents rode the same transfer and another rider
+            # re-claimed the key first (multi-client sessions); keep riding
+            # — its local fetch is LAN-fast now that the bytes are staged
+            flight.span.event("riding-foreign-transfer")
+            if not flight.prefetch_only:
+                if self.registry.promote(vid, Priority.DEMAND):
+                    self.stats.promoted += 1
+            self.registry.subscribe(
+                vid, lambda ok2: self._foreign_done(vid, ok2)
+            )
+            return
         flight.foreign = False
         self._register_flight(vid, flight)
         self._resolve(vid)

@@ -24,7 +24,7 @@ from ..lightfield.source import ViewSetSource
 from ..lon.ibp import Depot
 from ..lon.lbone import LBone
 from ..lon.lors import LoRS
-from ..lon.network import Network, gbps, mbps
+from ..lon.network import REBALANCE_MODES, Network, gbps, mbps
 from ..lon.scheduler import SCHEDULING_POLICIES, TransferScheduler
 from ..lon.simtime import EventQueue
 from ..obs.metrics import MetricsRegistry
@@ -115,6 +115,10 @@ class SessionConfig:
     tracing: bool = False
     #: sampler period in simulated seconds (link utilization, queue depths)
     sample_period: float = 0.5
+    #: flow re-rating strategy (see repro.lon.network): "incremental"
+    #: recomputes only the affected link/flow component per change;
+    #: "full" is the O(flows × links) reference recompute
+    network_rebalance: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.case not in (1, 2, 3):
@@ -122,6 +126,10 @@ class SessionConfig:
         if self.scheduling_policy not in SCHEDULING_POLICIES:
             raise ValueError(
                 f"scheduling_policy must be one of {SCHEDULING_POLICIES}"
+            )
+        if self.network_rebalance not in REBALANCE_MODES:
+            raise ValueError(
+                f"network_rebalance must be one of {REBALANCE_MODES}"
             )
 
 
@@ -151,7 +159,8 @@ class SessionRig:
 def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
     """Wire every component for the configured case (no events run yet)."""
     queue = EventQueue()
-    net = Network(queue, tcp_window=config.tcp_window)
+    net = Network(queue, tcp_window=config.tcp_window,
+                  rebalance=config.network_rebalance)
 
     # --- topology -----------------------------------------------------
     lan_hosts = ["client", "agent"] + [

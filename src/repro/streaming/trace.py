@@ -81,6 +81,17 @@ class CursorTrace:
             ]
         )
 
+    def shifted(self, dt: float) -> "CursorTrace":
+        """The same path starting ``dt`` seconds later (staggered clients)."""
+        if dt < 0:
+            raise ValueError("shift must be non-negative")
+        return CursorTrace(
+            samples=[
+                CursorSample(time=s.time + dt, theta=s.theta, phi=s.phi)
+                for s in self.samples
+            ]
+        )
+
 
 def standard_trace(
     lattice: CameraLattice,

@@ -164,6 +164,114 @@ class TestEventQueue:
         assert len(observed) == len(times)
 
 
+class TestEventCancelBookkeeping:
+    """Event.cancel() must keep EventQueue._live accurate (PR-4 fix)."""
+
+    def test_direct_cancel_updates_len(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()  # direct, not via q.cancel
+        assert len(q) == 1
+        assert ev.cancelled
+
+    def test_direct_cancel_suppresses_firing(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1.0, lambda: fired.append(1))
+        ev.cancel()
+        q.run()
+        assert fired == []
+        assert len(q) == 0
+
+    def test_both_paths_are_idempotent_together(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        ev.cancel()
+        q.cancel(ev)
+        ev.cancel()
+        assert len(q) == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.run()
+        ev.cancel()
+        assert not ev.cancelled
+        assert len(q) == 0
+
+    def test_event_has_slots(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        with pytest.raises(AttributeError):
+            ev.arbitrary_attribute = 1
+
+
+class TestHeapCompaction:
+    def test_compaction_triggers_when_garbage_dominates(self):
+        q = EventQueue(compact_min=64)
+        events = [q.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for ev in events[:60]:
+            q.cancel(ev)
+        assert q.compactions >= 1
+        assert len(q._heap) - q._garbage == 40  # live entries after rebuild
+        assert len(q._heap) < 100               # garbage actually dropped
+        assert len(q) == 40
+
+    def test_no_compaction_below_min_size(self):
+        q = EventQueue(compact_min=512)
+        events = [q.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for ev in events:
+            q.cancel(ev)
+        assert q.compactions == 0
+
+    def test_compaction_preserves_firing_order(self):
+        q = EventQueue(compact_min=16, compact_threshold=0.25)
+        fired = []
+        keep, drop = [], []
+        for i in range(200):
+            ev = q.schedule(float(i), lambda i=i: fired.append(i))
+            (keep if i % 3 == 0 else drop).append((i, ev))
+        for _, ev in drop:
+            ev.cancel()
+        assert q.compactions >= 1
+        q.run()
+        assert fired == [i for i, _ in keep]
+
+    def test_compaction_with_interleaved_pops(self):
+        q = EventQueue(compact_min=32, compact_threshold=0.5)
+        fired = []
+        events = {}
+        for i in range(300):
+            events[i] = q.schedule(float(i), lambda i=i: fired.append(i))
+        expected = []
+        for i in range(300):
+            if i % 2 == 0:
+                events[i].cancel()
+            else:
+                expected.append(i)
+        q.run_until(150.0)
+        q.run()
+        assert fired == expected
+        assert len(q) == 0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue(compact_threshold=0.0)
+        with pytest.raises(ValueError):
+            EventQueue(compact_threshold=1.5)
+
+    def test_fired_total_counts_lifetime_events(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda: None)
+        q.run()
+        q.schedule(10.0, lambda: None)
+        q.run()
+        assert q.fired_total == 6
+
+
 class TestProcess:
     def test_periodic_body_runs_until_none(self):
         q = EventQueue()
