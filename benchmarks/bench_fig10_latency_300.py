@@ -5,9 +5,8 @@ access; Case 3 tracks Case 1 and Case 2 keeps paying WAN latency.
 """
 
 
-from repro.experiments import experiment_resolutions
-
 from bench_fig09_latency_200 import _assert_paper_shape, _report_latency
+from repro.experiments import experiment_resolutions
 
 
 def test_fig10_latency_300(benchmark, suite, report):

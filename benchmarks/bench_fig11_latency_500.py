@@ -9,10 +9,8 @@ disappears from the access stream.
 
 import os
 
-
-from repro.experiments import experiment_resolutions
-
 from bench_fig09_latency_200 import _assert_paper_shape, _report_latency
+from repro.experiments import experiment_resolutions
 
 _SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
 

@@ -60,7 +60,7 @@ def test_fig12_comm_latency(benchmark, suite, report):
     report("fig12_comm_latency", table + "\n\n" + "\n\n".join(parts))
 
     # the decades must separate cleanly, as in the paper's log plots
-    for res, hit, lan, wan in tier_rows:
+    for res, hit, _lan, wan in tier_rows:
         if hit and wan:
             assert wan / hit > 100, f"hit/WAN tiers too close at {res}"
         if hit:

@@ -45,7 +45,7 @@ def test_text_fps(benchmark, fps_rows, report):
     by_mode = {}
     for r in fps_rows:
         by_mode.setdefault(r["mode"], []).append(r)
-    for mode, rows in by_mode.items():
+    for _mode, rows in by_mode.items():
         rows.sort(key=lambda r: r["resolution"])
         assert rows[-1]["ms_per_frame"] > rows[0]["ms_per_frame"]
     fastest_at_top = {

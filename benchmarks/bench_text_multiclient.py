@@ -30,6 +30,7 @@ time and simulation throughput (events fired per wall second) in
 
 import os
 
+from repro.analysis.determinism import MODELED_CPU_SECONDS_PER_BYTE
 from repro.lightfield import CameraLattice, SyntheticSource
 from repro.lon import gbps, mbps
 from repro.streaming import (
@@ -53,6 +54,7 @@ def _run(n_clients: int, rebalance: str, source):
             depot_access_bandwidth=mbps(400.0),
             tcp_window=8 * 1024,
             block_size=256 * 1024,
+            cpu_seconds_per_byte=MODELED_CPU_SECONDS_PER_BYTE,
             staging_concurrency=16,
             staging_streams=4,
             prefetch_policy="all-neighbors",
@@ -83,9 +85,7 @@ def test_multiclient_scaling(report, bench_json):
             rows.append({
                 "n_clients": n,
                 "rebalance": arm,
-                "wall_s": round(result.wall_seconds, 4),
                 "events_fired": result.events_fired,
-                "events_per_second": round(result.events_per_second, 1),
                 "sim_s": round(result.sim_seconds, 2),
                 "accesses": agg["accesses"],
                 "mean_latency_s": agg["mean_latency"],
@@ -124,10 +124,14 @@ def test_multiclient_scaling(report, bench_json):
     n_max = CLIENT_COUNTS[-1]
     bench_json("scale", {
         "benchmark": "multiclient_scaling",
-        "scale": "small" if _SMALL else "full",
         "case": 3,
         "client_counts": CLIENT_COUNTS,
         "runs": rows,
+    }, wall_clock={
+        "runs": {f"{n}/{arm}": {
+            "wall_s": round(r.wall_seconds, 4),
+            "events_per_second": round(r.events_per_second, 1),
+        } for (n, arm), (r, _) in sorted(by_key.items())},
         "speedup_at_max": round(speedups[n_max], 2),
         "speedups": {str(n): round(s, 2) for n, s in speedups.items()},
     })

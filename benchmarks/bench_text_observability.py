@@ -42,10 +42,11 @@ def test_observability_overhead(benchmark, report, bench_json):
         "resolution": row["resolution"],
         "case": row["case"],
         "accesses": row["accesses"],
+        "spans": row["spans"],
+    }, wall_clock={
         "untraced_s": round(row["untraced_s"], 6),
         "traced_s": round(row["traced_s"], 6),
         "ratio": round(row["ratio"], 4),
-        "spans": row["spans"],
     })
 
     # sanity: tracing actually recorded the session

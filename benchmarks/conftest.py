@@ -10,11 +10,15 @@ survives pytest's output capture.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
+from repro.analysis.determinism import MODELED_CPU_SECONDS_PER_BYTE
 from repro.experiments import StreamingSuite
+from repro.streaming.session import SessionConfig
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -22,8 +26,16 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 @pytest.fixture(scope="session")
 def suite() -> StreamingSuite:
-    """The memoized 3-case × 3-resolution streaming suite."""
-    return StreamingSuite()
+    """The memoized 3-case × 3-resolution streaming suite.
+
+    Decompression cost is *modeled* (``cpu_seconds_per_byte``) rather than
+    measured, so every sim-time statistic the suite produces — and every
+    compared field in the ``BENCH_*.json`` artifacts built from it — is
+    bit-identical across machines and runs.
+    """
+    return StreamingSuite(config_overrides={
+        "cpu_seconds_per_byte": MODELED_CPU_SECONDS_PER_BYTE,
+    })
 
 
 @pytest.fixture(scope="session")
@@ -50,12 +62,35 @@ def bench_json():
 
     Unlike the human-oriented ``report`` tables (which live in the
     gitignored ``benchmarks/results/``), these JSON artifacts are meant to
-    be committed so perf regressions show up in review diffs.
+    be committed so perf regressions show up in review diffs.  That only
+    works if a no-change rerun produces a byte-identical file, so the
+    contract is strict:
+
+    * ``payload`` may contain **only deterministic fields** — sim-time
+      statistics, counts, modeled costs — reproducible from the stamped
+      seed;
+    * host wall-clock measurements go in ``wall_clock``, serialized under
+      a top-level key of the same name that reviewers (and any automated
+      comparison) ignore;
+    * every artifact is stamped with the seed and scale that produced it,
+      so a diff that *does* appear is attributable.
     """
 
-    def _write(name: str, payload: dict) -> None:
+    def _write(name: str, payload: dict,
+               wall_clock: Optional[dict] = None) -> None:
+        doc = {
+            "meta": {
+                "format": "repro-bench/1",
+                "scale": os.environ.get("REPRO_SCALE", "default"),
+                "seed": SessionConfig().trace_seed,
+                "cpu_seconds_per_byte": MODELED_CPU_SECONDS_PER_BYTE,
+            },
+            **payload,
+        }
+        if wall_clock is not None:
+            doc["wall_clock"] = wall_clock
         path = REPO_ROOT / f"BENCH_{name}.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"wrote {path}")
 
     return _write

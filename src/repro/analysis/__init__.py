@@ -1,0 +1,48 @@
+"""Simulation-correctness static analysis for the LoN reproduction.
+
+The paper's latency claims are only as trustworthy as the simulator's
+determinism: a discrete-event substitution for the real WAN must produce
+bit-identical event streams for identical seeds, or the millisecond-level
+latency attributions in Figures 9-12 are artifacts of the host machine.
+This package mechanically enforces the invariants the simulator otherwise
+follows only by convention:
+
+* :mod:`repro.analysis.lint` — project-specific AST passes (rules
+  ``SIM001``-``SIM005``) that flag wall-clock leaks, unsorted set
+  iteration feeding the scheduler, event-queue bypasses, mutable default
+  arguments and float ``==`` on sim-time values;
+* :mod:`repro.analysis.determinism` — the dynamic backstop: run a seeded
+  session (or an N-client rig) twice, hash the ordered event stream,
+  per-transfer rate trajectories and the latency breakdown, and pinpoint
+  the first divergent event on mismatch.
+
+Run both from the command line::
+
+    python -m repro.analysis lint src
+    python -m repro.analysis determinism --clients 8
+"""
+
+from __future__ import annotations
+
+from .determinism import (
+    DeterminismReport,
+    Divergence,
+    RunFingerprint,
+    check_determinism,
+    multiclient_fingerprint,
+    session_fingerprint,
+)
+from .lint import Finding, RULES, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "RunFingerprint",
+    "Divergence",
+    "DeterminismReport",
+    "check_determinism",
+    "session_fingerprint",
+    "multiclient_fingerprint",
+]

@@ -1,0 +1,90 @@
+"""CLI for the simulation-correctness analysis suite.
+
+Usage::
+
+    python -m repro.analysis lint src [tests ...] [--rule SIM001 ...]
+    python -m repro.analysis determinism [--clients N] [--runs N] ...
+
+``lint`` exits 0 when clean, 1 on findings, 2 on usage errors;
+``determinism`` exits 0 when every scenario is bit-reproducible, 1 when any
+run diverges (printing the first divergent event).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import lint
+from .determinism import (
+    check_determinism,
+    multiclient_fingerprint,
+    session_fingerprint,
+)
+
+
+def _determinism_main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis determinism",
+        description="run seeded sessions twice and compare fingerprints",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--resolution", type=int, default=32)
+    parser.add_argument("--runs", type=int, default=2,
+                        help="repetitions per scenario (default 2)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="rig size for the multi-client scenario "
+                             "(0 skips it)")
+    parser.add_argument("--accesses", type=int, default=16,
+                        help="cursor accesses for the single-client run")
+    parser.add_argument("--skip-single", action="store_true",
+                        help="skip the single-client scenario")
+    args = parser.parse_args(argv)
+
+    reports = []
+    if not args.skip_single:
+        reports.append(check_determinism(
+            lambda: session_fingerprint(
+                seed=args.seed,
+                resolution=args.resolution,
+                n_accesses=args.accesses,
+            ),
+            runs=args.runs,
+        ))
+    if args.clients > 0:
+        reports.append(check_determinism(
+            lambda: multiclient_fingerprint(
+                seed=args.seed,
+                n_clients=args.clients,
+                resolution=args.resolution,
+            ),
+            runs=args.runs,
+        ))
+    if not reports:
+        print("nothing to check (single skipped, --clients 0)")
+        return 2
+    failed = False
+    for report in reports:
+        print(report.render())
+        failed = failed or not report.ok
+    return 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "lint":
+        return lint.main(rest)
+    if command == "determinism":
+        return _determinism_main(rest)
+    print(f"unknown command {command!r}; expected 'lint' or 'determinism'",
+          file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

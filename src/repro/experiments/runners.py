@@ -19,14 +19,14 @@ from ..lightfield.compression import DeltaZlibCodec, ZlibCodec
 from ..lightfield.lattice import CameraLattice
 from ..lightfield.source import SyntheticSource
 from ..lightfield.synthesis import DictProvider, LightFieldSynthesizer
+from ..lon.scheduler import SCHEDULING_POLICIES
 from ..render.camera import orbit_camera
 from ..render.raycast import RenderSettings
+from ..streaming.metrics import AccessSource, SessionMetrics
+from ..streaming.session import SessionConfig, run_session
 from ..volume.synthetic import neg_hip
 from ..volume.transfer import preset
 from .config import PAPER, experiment_lattice, experiment_resolutions
-from ..lon.scheduler import SCHEDULING_POLICIES
-from ..streaming.metrics import AccessSource, SessionMetrics
-from ..streaming.session import SessionConfig, run_session
 
 __all__ = [
     "StreamingSuite",

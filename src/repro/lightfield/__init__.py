@@ -12,9 +12,9 @@ from .compression import (
     codec_for_payload,
 )
 from .database import DatabaseError, LightFieldDatabase
-from .source import DatabaseSource, SyntheticSource, ViewSetSource
 from .lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from .multifield import CellSynthesizer, FieldCell, MultiFieldAtlas
+from .source import DatabaseSource, SyntheticSource, ViewSetSource
 from .sphere import TwoSphere, angles_to_cartesian, cartesian_to_angles
 from .synthesis import (
     DictProvider,

@@ -155,7 +155,7 @@ class LightFieldDatabase:
             (d / f"{vid}.lfvs").write_bytes(e.payload)
 
     @classmethod
-    def load(cls, directory: Union[str, Path]) -> "LightFieldDatabase":
+    def load(cls, directory: Union[str, Path]) -> LightFieldDatabase:
         """Load a database previously written by :meth:`save`."""
         d = Path(directory)
         try:

@@ -112,7 +112,7 @@ class MultiFieldAtlas:
         cells_per_axis: int,
         r_outer_fraction: float = 0.45,
         inner_fraction: float = 0.5,
-    ) -> "MultiFieldAtlas":
+    ) -> MultiFieldAtlas:
         """A regular grid of cells tiling ``[-extent, extent]^3``.
 
         ``r_outer_fraction`` scales each cell's outer sphere relative to the

@@ -172,7 +172,7 @@ class LightFieldSynthesizer:
 
         acc = np.zeros((len(vidx), 3), dtype=np.float32)
         wsum = np.zeros(len(vidx), dtype=np.float32)
-        for (ci, cj, w), code in zip(corners, corner_codes):
+        for (_ci, _cj, w), code in zip(corners, corner_codes):
             slots = atlas.slot_lut[code]
             ok = atlas.present[slots]
             if not ok.any():

@@ -102,7 +102,7 @@ class ViewSet:
         return header + self.images.tobytes()
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "ViewSet":
+    def from_bytes(cls, blob: bytes) -> ViewSet:
         """Decode the LFVS wire format; validates header and payload size."""
         if len(blob) < _HEADER.size:
             raise ViewSetFormatError("blob shorter than header")

@@ -32,7 +32,16 @@ from .scheduler import (
     TransferHandle,
     TransferScheduler,
 )
-from .simtime import Event, EventQueue, Process, SimClock, SimulationError
+from .simtime import (
+    Event,
+    EventQueue,
+    Process,
+    SimClock,
+    SimulationError,
+    TIME_EPSILON,
+    time_eq,
+    time_le,
+)
 from .warmer import LeaseWarmer, WarmerStats
 
 __all__ = [
@@ -71,6 +80,9 @@ __all__ = [
     "SCHEDULING_POLICIES",
     "SimClock",
     "SimulationError",
+    "TIME_EPSILON",
+    "time_eq",
+    "time_le",
     "TransferEvent",
     "TransferHandle",
     "TransferScheduler",

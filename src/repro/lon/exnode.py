@@ -47,11 +47,11 @@ class Extent:
         """One past the last byte."""
         return self.offset + self.length
 
-    def overlaps(self, other: "Extent") -> bool:
+    def overlaps(self, other: Extent) -> bool:
         """True if the two ranges share at least one byte."""
         return self.offset < other.end and other.offset < self.end
 
-    def contains(self, other: "Extent") -> bool:
+    def contains(self, other: Extent) -> bool:
         """True if ``other`` lies entirely within this extent."""
         return self.offset <= other.offset and other.end <= self.end
 
@@ -222,7 +222,7 @@ class ExNode:
         return ET.tostring(root, encoding="unicode")
 
     @classmethod
-    def from_xml(cls, text: str) -> "ExNode":
+    def from_xml(cls, text: str) -> ExNode:
         """Parse an exNode previously produced by :meth:`to_xml`."""
         try:
             root = ET.fromstring(text)
@@ -273,7 +273,7 @@ class ExNode:
         return cls(name=name, length=length, mappings=mappings,
                    metadata=metadata)
 
-    def read_only_view(self) -> "ExNode":
+    def read_only_view(self) -> ExNode:
         """A copy exposing only read capabilities (safe to hand to clients)."""
         return ExNode(
             name=self.name,

@@ -94,7 +94,7 @@ class Capability:
         return f"ibp://{self.depot}/{self.key}#{self.type.value}"
 
     @classmethod
-    def parse(cls, text: str) -> "Capability":
+    def parse(cls, text: str) -> Capability:
         """Inverse of ``str(cap)``; raises ValueError on malformed input."""
         if not text.startswith("ibp://"):
             raise ValueError(f"not an IBP capability: {text!r}")

@@ -121,7 +121,7 @@ class DownloadJob:
 
     def __init__(
         self,
-        lors: "LoRS",
+        lors: LoRS,
         exnode: ExNode,
         dest: str,
         max_streams: int,
@@ -327,7 +327,7 @@ class CopyJob:
 
     def __init__(
         self,
-        lors: "LoRS",
+        lors: LoRS,
         exnode: ExNode,
         target: Depot,
         duration: float,

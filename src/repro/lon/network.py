@@ -44,6 +44,7 @@ Two rebalancing modes govern how re-rating scales (``rebalance=``):
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -136,6 +137,11 @@ class Flow:
     on_complete: Callable[["Flow"], None]
     on_fail: Optional[Callable[["Flow", Exception], None]] = None
     label: str = ""
+    #: stable per-network admission sequence number.  All rebalancer
+    #: bookkeeping keys on this (never ``id(flow)``): memory addresses
+    #: differ between runs, which would leak allocator state into set
+    #: iteration order and break bit-reproducible replays.
+    fid: int = field(default=-1, init=False)
     rate_cap: float = float("inf")  # TCP window / RTT ceiling
     weight: float = 1.0             # share of weighted max-min fairness
     remaining: float = field(init=False)
@@ -242,6 +248,7 @@ class Network:
         self.graph = nx.Graph()
         self._links: Dict[FrozenSet[str], Link] = {}
         self._flows: List[Flow] = []
+        self._fid_counter = itertools.count()
         self._route_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         # incremental-rebalance state: link row -> ids of *contending*
         # flows (admitted, not paused, not drained), the id -> flow map
@@ -374,7 +381,8 @@ class Network:
                 out[(link.a, link.b)] = 0.0
                 continue
             load = 0.0
-            for fid in self._members.get(self._row_of[key], ()):
+            # sorted: float accumulation order must not depend on set order
+            for fid in sorted(self._members.get(self._row_of[key], ())):
                 rate = self._flow_by_id[fid].rate
                 if 0 < rate < inf:
                     load += rate
@@ -411,6 +419,7 @@ class Network:
         if src == dst:
             flow = Flow(src, dst, size, (), on_complete, on_fail, label,
                         weight=weight)
+            flow.fid = next(self._fid_counter)
             flow.start_time = now
             memcpy = 1e-4 + size / gbps(8.0)  # local copy at ~8 Gb/s
             flow.finish_time = now + memcpy
@@ -425,6 +434,7 @@ class Network:
         )
         flow = Flow(src, dst, size, links, on_complete, on_fail, label,
                     weight=weight)
+        flow.fid = next(self._fid_counter)
         flow.start_time = now
         flow.last_update = now
         flow.prop_latency = self.path_latency(src, dst)
@@ -432,7 +442,7 @@ class Network:
             rtt = max(2.0 * flow.prop_latency, 1e-6)
             flow.rate_cap = self.tcp_window / rtt
         self._flows.append(flow)
-        self._flow_by_id[id(flow)] = flow
+        self._flow_by_id[flow.fid] = flow
         self._admit(flow)
         if flow.rate_cap != float("inf") and self._quiet(flow):
             # every link keeps cap-sum headroom even with this flow at its
@@ -536,7 +546,7 @@ class Network:
 
     def _admit(self, flow: Flow) -> None:
         """Add a contending flow to its links' membership sets."""
-        fid = id(flow)
+        fid = flow.fid
         cap = flow.rate_cap
         finite = cap != float("inf")
         capload, unc, over, bw = (
@@ -552,7 +562,7 @@ class Network:
 
     def _expel(self, flow: Flow) -> None:
         """Drop a flow from membership (paused, drained or gone)."""
-        fid = id(flow)
+        fid = flow.fid
         cap = flow.rate_cap
         finite = cap != float("inf")
         capload, unc, over, bw = (
@@ -595,7 +605,7 @@ class Network:
         """Take a flow out of the admitted set entirely."""
         self._flows.remove(flow)
         self._expel(flow)
-        self._flow_by_id.pop(id(flow), None)
+        self._flow_by_id.pop(flow.fid, None)
 
     def _poke(self, rows: Iterable[int]) -> None:
         """Register a rebalance trigger for the given link rows.
@@ -641,14 +651,18 @@ class Network:
         comp_rows: Set[int] = set()
         comp: List[Flow] = []
         seen: Set[int] = set()
-        stack = [row for row in self._dirty if row in members]
+        # sorted: the BFS visit order decides the order flows are appended
+        # to ``comp`` and therefore the order completion events are
+        # rescheduled — same-timestamp ties break by schedule order, so set
+        # iteration here would leak hash-seed state into the event stream
+        stack = sorted(row for row in self._dirty if row in members)
         self._dirty.clear()
         while stack:
             row = stack.pop()
             if row in comp_rows:
                 continue
             comp_rows.add(row)
-            for fid in members[row]:
+            for fid in sorted(members[row]):
                 if fid in seen:
                     continue
                 seen.add(fid)
@@ -678,7 +692,7 @@ class Network:
         rates = self._component_rates(live)
         eps = self.rate_epsilon
         for f in live:
-            new = rates.get(id(f), 0.0)
+            new = rates.get(f.fid, 0.0)
             old = f.rate
             if new != old:
                 self._settle_flow(f, now)
@@ -767,7 +781,7 @@ class Network:
             if total > row_bw[row]:
                 return None
         self.stats.all_capped += 1
-        return {id(f): f.rate_cap for f in flows}
+        return {f.fid: f.rate_cap for f in flows}
 
     def _rates_scalar(self, flows: Iterable[Flow]) -> Dict[int, float]:
         """Water-filling over an explicit flow set (reference path).
@@ -776,7 +790,7 @@ class Network:
         weights; with all weights 1.0 this is the classic equal-share
         max-min allocation.
         """
-        active = {id(f): f for f in flows}
+        active = {f.fid: f for f in flows}
         weight = {fid: f.weight for fid, f in active.items()}
         caps: Dict[object, float] = {}
         members: Dict[object, List[int]] = {}
@@ -911,7 +925,7 @@ class Network:
             caps[bottlenecks] = 0.0
             live_link &= ~bottlenecks
             unassigned &= ~assigned
-        return {id(f): float(r) for f, r in zip(flows, rates)}
+        return {f.fid: float(r) for f, r in zip(flows, rates)}
 
     # -- full recompute (reference + benchmark baseline) ------------------
     def _settle(self, now: float) -> None:
@@ -939,7 +953,7 @@ class Network:
         rates = self._maxmin_rates()
         for f in self._flows:
             old_rate = f.rate
-            f.rate = rates.get(id(f), 0.0)
+            f.rate = rates.get(f.fid, 0.0)
             if f.on_rate_change is not None and f.rate != old_rate:
                 f.on_rate_change(f, old_rate)
             if f._completion_event is not None:

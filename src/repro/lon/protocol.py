@@ -23,7 +23,7 @@ Responses::
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .ibp import (
     Capability,
@@ -95,7 +95,7 @@ class DepotServer:
             return _err(ProtocolError(str(exc)))
 
     # ------------------------------------------------------------------
-    def _allocate(self, args) -> bytes:
+    def _allocate(self, args: Sequence[str]) -> bytes:
         if len(args) != 3:
             raise ProtocolError("ALLOCATE needs <size> <duration> <h|s>")
         size = int(args[0])
@@ -106,7 +106,8 @@ class DepotServer:
         r, w, m = self.depot.allocate(size, duration, soft=kind == "soft")
         return f"OK {r} {w} {m}\n".encode("ascii")
 
-    def _store(self, args, body: bytes) -> bytes:
+    def _store(self, args: Sequence[str],
+               body: bytes) -> bytes:
         if len(args) != 3:
             raise ProtocolError("STORE needs <cap> <offset> <length>")
         cap = Capability.parse(args[0])
@@ -118,7 +119,7 @@ class DepotServer:
         written = self.depot.store(cap, body[:length], offset)
         return f"OK {written}\n".encode("ascii")
 
-    def _load(self, args) -> bytes:
+    def _load(self, args: Sequence[str]) -> bytes:
         if len(args) != 3:
             raise ProtocolError("LOAD needs <cap> <offset> <length>")
         cap = Capability.parse(args[0])
@@ -126,7 +127,7 @@ class DepotServer:
         data = self.depot.load(cap, offset, length)
         return f"OK {len(data)}\n".encode("ascii") + data
 
-    def _manage(self, args) -> bytes:
+    def _manage(self, args: Sequence[str]) -> bytes:
         if len(args) < 2:
             raise ProtocolError("MANAGE needs <cap> <subcommand>")
         cap = Capability.parse(args[0])

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable, Dict, List, Optional, Set
 
-from ..obs.tracer import NOOP_SPAN, NULL_TRACER, Tracer
+from ..obs.tracer import NOOP_SPAN, NULL_TRACER, SpanLike, Tracer
 from .network import Flow, Network
 
 __all__ = [
@@ -142,7 +142,7 @@ class TransferHandle:
 
     def __init__(
         self,
-        scheduler: "TransferScheduler",
+        scheduler: TransferScheduler,
         priority: Priority,
         label: str,
         token: Optional[CancelToken],
@@ -153,7 +153,8 @@ class TransferHandle:
         self.token = token
         self.flow: Optional[Flow] = None
         self.state = "queued"  # queued|active|completed|cancelled|failed
-        self.span = NOOP_SPAN  # per-transfer span (real when tracing is on)
+        #: per-transfer span (real when tracing is on)
+        self.span: SpanLike = NOOP_SPAN
 
     @property
     def done(self) -> bool:
@@ -180,7 +181,7 @@ class InFlightEntry:
     cancel_cb: Optional[Callable[[], None]] = None
     subscribers: List[Callable[[bool], None]] = field(default_factory=list)
     #: span of the layer moving the bytes; dedup/promotion events land here
-    span: object = NOOP_SPAN
+    span: SpanLike = NOOP_SPAN
 
 
 @dataclass
@@ -223,7 +224,7 @@ class InFlightRegistry:
         priority: Priority,
         promote_cb: Optional[Callable[[Priority], None]] = None,
         cancel_cb: Optional[Callable[[], None]] = None,
-        span: object = NOOP_SPAN,
+        span: SpanLike = NOOP_SPAN,
     ) -> InFlightEntry:
         """Claim ``key``; raises if another layer already holds it."""
         if key in self._entries:
@@ -361,7 +362,7 @@ class TransferScheduler:
         label: str = "",
         priority: Priority = Priority.DEMAND,
         token: Optional[CancelToken] = None,
-        span: object = None,
+        span: Optional[SpanLike] = None,
     ) -> TransferHandle:
         """Admit one transfer at a priority class.
 

@@ -24,7 +24,31 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-__all__ = ["SimClock", "Event", "EventQueue", "Process", "SimulationError"]
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "Process",
+    "SimulationError",
+    "TIME_EPSILON",
+    "time_eq",
+    "time_le",
+]
+
+#: Tolerance for comparing simulation timestamps.  Sim times are sums of
+#: float delays, so exact ``==`` is fragile; every equality test on sim
+#: time must go through :func:`time_eq` (lint rule SIM005).
+TIME_EPSILON = 1e-9
+
+
+def time_eq(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
+    """True when two simulation timestamps are equal within ``eps``."""
+    return abs(a - b) <= eps
+
+
+def time_le(a: float, b: float, eps: float = TIME_EPSILON) -> bool:
+    """True when ``a`` precedes (or equals, within ``eps``) ``b``."""
+    return a <= b + eps
 
 
 class SimulationError(RuntimeError):
@@ -126,6 +150,10 @@ class EventQueue:
         self._garbage = 0  # cancelled events still sitting in the heap
         self.compactions = 0  # times the heap was rebuilt (for tests/bench)
         self.fired_total = 0  # events fired over the queue's lifetime
+        #: observer called as ``on_fire(event)`` just before each event's
+        #: callback runs.  The determinism checker hangs its event-stream
+        #: fingerprint here; ``None`` costs one attribute test per event.
+        self.on_fire: Optional[Callable[[Event], None]] = None
 
     def __len__(self) -> int:
         return self._live
@@ -197,6 +225,8 @@ class EventQueue:
         ev.fired = True
         self.fired_total += 1
         self.clock._advance_to(ev.time)
+        if self.on_fire is not None:
+            self.on_fire(ev)
         ev.callback()
         return True
 

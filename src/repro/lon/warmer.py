@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .exnode import ExNode
+from .exnode import ExNode, Mapping
 from .ibp import IBPError, IBPRefusedError
 from .lbone import LBone, LBoneError
 from .simtime import EventQueue, Process
@@ -112,7 +112,7 @@ class LeaseWarmer:
                         self._note_lost(exnode, m)
         return self.period
 
-    def _note_lost(self, exnode: ExNode, mapping) -> None:
+    def _note_lost(self, exnode: ExNode, mapping: Mapping) -> None:
         self.stats.lost += 1
         self._lost.append((exnode.name, mapping.depot))
         if mapping in exnode.mappings:

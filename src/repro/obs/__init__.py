@@ -22,7 +22,15 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .metrics import Counter, Gauge, LogHistogram, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    GaugeRecord,
+    HistogramRecord,
+    LogHistogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
 from .report import (
     render_breakdown_table,
     render_waterfall,
@@ -37,18 +45,31 @@ from .samplers import (
     SchedulerOccupancySampler,
     standard_samplers,
 )
-from .tracer import NOOP_SPAN, NULL_TRACER, NoopSpan, Span, Tracer
+from .tracer import (
+    NOOP_SPAN,
+    NULL_TRACER,
+    NoopSpan,
+    Span,
+    SpanDict,
+    SpanLike,
+    Tracer,
+)
 
 __all__ = [
     "Span",
+    "SpanDict",
+    "SpanLike",
     "Tracer",
     "NoopSpan",
     "NOOP_SPAN",
     "NULL_TRACER",
     "Counter",
     "Gauge",
+    "GaugeRecord",
+    "HistogramRecord",
     "LogHistogram",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "PeriodicSampler",
     "LinkUtilizationSampler",
     "DepotSampler",

@@ -21,7 +21,8 @@ Sim-time seconds are stored as microseconds in Chrome ``ts``/``dur`` fields
 from __future__ import annotations
 
 import json
-from typing import Dict, IO, Iterable, List, Optional, Union
+import os
+from typing import IO, Dict, Iterable, List, Mapping, Optional, Tuple, Union, cast
 
 from .tracer import Tracer
 
@@ -43,11 +44,14 @@ _PID_BY_CATEGORY = {
 _PID_OTHER = (4, "transfers")
 _PID_COUNTERS = (5, "samplers")
 
-SpanDict = Dict[str, object]
+#: a span as handed to the exporters: either a strict
+#: :class:`~repro.obs.tracer.SpanDict` from a live tracer or a loose dict
+#: loaded back out of a trace file
+SpanDict = Mapping[str, object]
 
 
-def _span_sort_key(span: SpanDict):
-    return (span["start"], span["span_id"])
+def _span_sort_key(span: SpanDict) -> Tuple[float, int]:
+    return (cast(float, span["start"]), cast(int, span["span_id"]))
 
 
 def chrome_trace_events(
@@ -59,7 +63,7 @@ def chrome_trace_events(
     spans = sorted(spans, key=_span_sort_key)
 
     # Assign each trace tree a (pid, tid) track keyed by its root span.
-    track: Dict[int, tuple] = {}  # trace_id -> (pid, tid, label)
+    track: Dict[int, Tuple[int, int, str]] = {}  # trace_id -> (pid, tid, label)
     pids_seen: Dict[int, str] = {}
     next_tid: Dict[int, int] = {}
     for span in spans:
@@ -70,7 +74,7 @@ def chrome_trace_events(
         pids_seen.setdefault(pid, pid_label)
         tid = next_tid.get(pid, 1)
         next_tid[pid] = tid + 1
-        track[span["trace_id"]] = (pid, tid, str(span["name"]))
+        track[cast(int, span["trace_id"])] = (pid, tid, str(span["name"]))
 
     events: List[Dict[str, object]] = []
     for pid, label in sorted(pids_seen.items()):
@@ -78,7 +82,7 @@ def chrome_trace_events(
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
             "args": {"name": label},
         })
-    for trace_id, (pid, tid, label) in track.items():
+    for _trace_id, (pid, tid, label) in track.items():
         events.append({
             "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": label},
@@ -86,15 +90,16 @@ def chrome_trace_events(
 
     for span in spans:
         # orphan children whose root is missing park on tid 0
-        pid, tid, _ = track.get(span["trace_id"], (_PID_OTHER[0], 0, ""))
-        start = float(span["start"])
-        end = float(span["end"])
+        pid, tid, _ = track.get(cast(int, span["trace_id"]),
+                                (_PID_OTHER[0], 0, ""))
+        start = float(cast(float, span["start"]))
+        end = float(cast(float, span["end"]))
         args: Dict[str, object] = {
             "span_id": span["span_id"],
             "trace_id": span["trace_id"],
             "parent_id": span["parent_id"],
         }
-        attrs = span.get("attrs") or {}
+        attrs = cast(Dict[str, object], span.get("attrs") or {})
         args.update(attrs)
         events.append({
             "name": span["name"],
@@ -106,7 +111,8 @@ def chrome_trace_events(
             "tid": tid,
             "args": args,
         })
-        for ev in span.get("events") or ():
+        for ev in cast(List[Dict[str, object]],
+                       span.get("events") or ()):
             ev_args = {k: v for k, v in ev.items() if k not in ("name", "t")}
             ev_args["span_id"] = span["span_id"]
             events.append({
@@ -114,7 +120,7 @@ def chrome_trace_events(
                 "cat": "event",
                 "ph": "i",
                 "s": "t",
-                "ts": float(ev["t"]) * _US,
+                "ts": float(cast(float, ev["t"])) * _US,
                 "pid": pid,
                 "tid": tid,
                 "args": ev_args,
@@ -156,7 +162,7 @@ def chrome_trace_events(
 
 def write_chrome_trace(
     tracer_or_spans: Union[Tracer, Iterable[SpanDict]],
-    path_or_file: Union[str, IO[str]],
+    path_or_file: Union[str, os.PathLike, IO[str]],
     metrics_snapshot: Optional[Dict[str, object]] = None,
 ) -> int:
     """Write a Chrome/Perfetto trace file; returns the event count."""
@@ -169,24 +175,27 @@ def write_chrome_trace(
         counters = []
         instants = []
     events = chrome_trace_events(spans, counters, instants)
+    other: Dict[str, object] = {
+        "clock": "sim-seconds", "format": "repro.obs/1",
+    }
+    if metrics_snapshot is not None:
+        other["metrics"] = metrics_snapshot
     doc: Dict[str, object] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"clock": "sim-seconds", "format": "repro.obs/1"},
+        "otherData": other,
     }
-    if metrics_snapshot is not None:
-        doc["otherData"]["metrics"] = metrics_snapshot
-    if hasattr(path_or_file, "write"):
-        json.dump(doc, path_or_file)
-    else:
+    if isinstance(path_or_file, (str, os.PathLike)):
         with open(path_or_file, "w", encoding="utf-8") as fh:
             json.dump(doc, fh)
+    else:
+        json.dump(doc, path_or_file)
     return len(events)
 
 
 def write_jsonl(
     tracer: Tracer,
-    path_or_file: Union[str, IO[str]],
+    path_or_file: Union[str, os.PathLike, IO[str]],
 ) -> int:
     """Write a NetLogger-style JSONL event log; returns the line count."""
     lines: List[Dict[str, object]] = []
@@ -201,14 +210,17 @@ def write_jsonl(
             "lvl": "INFO", "cat": span.get("cat") or "",
             **base, **(span.get("attrs") or {}),
         })
-        for ev in span.get("events") or ():
+        for ev in cast(List[Dict[str, object]],
+                       span.get("events") or ()):
             lines.append({
                 "ts": ev["t"], "event": f"{span['name']}.{ev['name']}",
                 "lvl": "INFO", **base,
             })
         lines.append({
             "ts": span["end"], "event": f"{span['name']}.end",
-            "lvl": "INFO", "dur": span["end"] - span["start"], **base,
+            "lvl": "INFO",
+            "dur": cast(float, span["end"]) - cast(float, span["start"]),
+            **base,
         })
     for ev in tracer.instants:
         lines.append({
@@ -220,29 +232,28 @@ def write_jsonl(
             "ts": sample["t"], "event": f"counter.{sample['name']}",
             "lvl": "DEBUG", "value": sample["value"],
         })
-    lines.sort(key=lambda rec: rec["ts"])
-    if hasattr(path_or_file, "write"):
-        fh = path_or_file
-        for rec in lines:
-            fh.write(json.dumps(rec) + "\n")
-    else:
+    lines.sort(key=lambda rec: cast(float, rec["ts"]))
+    if isinstance(path_or_file, (str, os.PathLike)):
         with open(path_or_file, "w", encoding="utf-8") as fh:
             for rec in lines:
                 fh.write(json.dumps(rec) + "\n")
+    else:
+        for rec in lines:
+            path_or_file.write(json.dumps(rec) + "\n")
     return len(lines)
 
 
 def _spans_from_chrome(doc: Dict[str, object]) -> List[SpanDict]:
     spans: List[SpanDict] = []
-    for ev in doc.get("traceEvents", ()):
+    for ev in cast(List[Dict[str, object]], doc.get("traceEvents") or []):
         if ev.get("ph") != "X":
             continue
-        args = ev.get("args") or {}
+        args = cast(Dict[str, object], ev.get("args") or {})
         if "span_id" not in args:
             continue
         attrs = {k: v for k, v in args.items()
                  if k not in ("span_id", "trace_id", "parent_id")}
-        start = float(ev["ts"]) / _US
+        start = float(cast(float, ev["ts"])) / _US
         spans.append({
             "name": ev.get("name", ""),
             "cat": ev.get("cat", ""),
@@ -250,7 +261,7 @@ def _spans_from_chrome(doc: Dict[str, object]) -> List[SpanDict]:
             "span_id": args["span_id"],
             "parent_id": args.get("parent_id"),
             "start": start,
-            "end": start + float(ev.get("dur", 0.0)) / _US,
+            "end": start + float(cast(float, ev.get("dur", 0.0))) / _US,
             "attrs": attrs,
             "events": [],
         })
@@ -258,8 +269,8 @@ def _spans_from_chrome(doc: Dict[str, object]) -> List[SpanDict]:
 
 
 def _spans_from_jsonl(text: str) -> List[SpanDict]:
-    open_spans: Dict[int, SpanDict] = {}
-    done: List[SpanDict] = []
+    open_spans: Dict[int, Dict[str, object]] = {}
+    done: List[Dict[str, object]] = []
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -290,12 +301,12 @@ def _spans_from_jsonl(text: str) -> List[SpanDict]:
             done.append(span)
     done.extend(open_spans.values())
     done.sort(key=_span_sort_key)
-    return done
+    return cast(List[SpanDict], done)
 
 
 def load_trace(path: str) -> List[SpanDict]:
     """Load span dicts back out of either export format (auto-detected)."""
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         text = fh.read()
     stripped = text.lstrip()
     if stripped.startswith("{"):

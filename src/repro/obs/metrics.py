@@ -15,9 +15,46 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, TypedDict
 
-__all__ = ["Counter", "Gauge", "LogHistogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GaugeRecord",
+    "HistogramRecord",
+    "LogHistogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+
+class GaugeRecord(TypedDict):
+    """JSON shape of one gauge in a registry snapshot."""
+
+    value: float
+    min: Optional[float]
+    max: Optional[float]
+    samples: int
+
+
+class HistogramRecord(TypedDict):
+    """JSON shape of one histogram in a registry snapshot."""
+
+    count: int
+    mean: float
+    min: Optional[float]
+    max: Optional[float]
+    p50: float
+    p95: float
+    p99: float
+
+
+class MetricsSnapshot(TypedDict):
+    """JSON shape of ``MetricsRegistry.snapshot()``."""
+
+    counters: Dict[str, float]
+    gauges: Dict[str, GaugeRecord]
+    histograms: Dict[str, HistogramRecord]
 
 
 @dataclass
@@ -189,10 +226,10 @@ class MetricsRegistry:
     def histograms(self) -> Dict[str, LogHistogram]:
         return dict(self._histograms)
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self) -> MetricsSnapshot:
         """JSON-ready dump of every metric (summary(), exporters)."""
-        out: Dict[str, object] = {"counters": {}, "gauges": {},
-                                  "histograms": {}}
+        out: MetricsSnapshot = {"counters": {}, "gauges": {},
+                                "histograms": {}}
         for name, c in sorted(self._counters.items()):
             out["counters"][name] = c.value
         for name, g in sorted(self._gauges.items()):
@@ -203,11 +240,14 @@ class MetricsRegistry:
                 "samples": g.samples,
             }
         for name, h in sorted(self._histograms.items()):
+            pct = h.percentiles()
             out["histograms"][name] = {
                 "count": h.total,
                 "mean": h.mean,
                 "min": None if h.total == 0 else h.min_seen,
                 "max": None if h.total == 0 else h.max_seen,
-                **h.percentiles(),
+                "p50": pct["p50"],
+                "p95": pct["p95"],
+                "p99": pct["p99"],
             }
         return out

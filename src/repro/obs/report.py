@@ -15,7 +15,7 @@ in hand.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union, cast
 
 __all__ = [
     "stage_breakdown",
@@ -24,7 +24,8 @@ __all__ = [
     "trace_report",
 ]
 
-SpanDict = Dict[str, object]
+#: spans as read here: strict tracer dicts or loose loaded dicts both fit
+SpanDict = Mapping[str, object]
 
 #: canonical display order of the demand-path stages
 STAGE_ORDER = [
@@ -38,7 +39,7 @@ STAGE_ORDER = [
 
 
 def _duration(span: SpanDict) -> float:
-    return float(span["end"]) - float(span["start"])
+    return float(cast(float, span["end"])) - float(cast(float, span["start"]))
 
 
 def _children_by_parent(spans: Sequence[SpanDict]) -> Dict[int, List[SpanDict]]:
@@ -46,7 +47,7 @@ def _children_by_parent(spans: Sequence[SpanDict]) -> Dict[int, List[SpanDict]]:
     for s in spans:
         pid = s.get("parent_id")
         if pid is not None:
-            out.setdefault(pid, []).append(s)
+            out.setdefault(cast(int, pid), []).append(s)
     return out
 
 
@@ -57,7 +58,9 @@ def access_roots(spans: Sequence[SpanDict]) -> List[SpanDict]:
         if s.get("parent_id") is None and s.get("cat") == "access"
     ]
     roots.sort(key=lambda s: (
-        (s.get("attrs") or {}).get("index", 0), s["start"]
+        cast(int, cast(Dict[str, object],
+                       s.get("attrs") or {}).get("index", 0)),
+        cast(float, s["start"]),
     ))
     return roots
 
@@ -87,10 +90,10 @@ def stage_breakdown(
     children = _children_by_parent(spans)
     acc: Dict[str, Dict[str, List[float]]] = {}
     for root in access_roots(spans):
-        attrs = root.get("attrs") or {}
+        attrs = cast(Dict[str, object], root.get("attrs") or {})
         source = str(attrs.get("source", "unknown"))
         per_source = acc.setdefault(source, {})
-        kids = [c for c in children.get(root["span_id"], [])
+        kids = [c for c in children.get(cast(int, root["span_id"]), [])
                 if c.get("cat") == "stage"]
         if not kids:
             per_source.setdefault("total", []).append(_duration(root))
@@ -114,7 +117,7 @@ def stage_breakdown(
     return out
 
 
-def _stage_sort_key(stage: str) -> tuple:
+def _stage_sort_key(stage: str) -> Tuple[int, Union[int, str]]:
     try:
         return (0, STAGE_ORDER.index(stage))
     except ValueError:
@@ -159,22 +162,26 @@ def render_waterfall(
         roots = roots[:max_accesses]
     lines: List[str] = []
     for root in roots:
-        attrs = root.get("attrs") or {}
+        attrs = cast(Dict[str, object], root.get("attrs") or {})
         total = _duration(root)
         index = attrs.get("index", "?")
         source = attrs.get("source", "?")
         vid = attrs.get("viewset", attrs.get("vid", ""))
         lines.append(
             f"access #{index}  {vid}  source={source}  "
-            f"total={total * 1e3:.3f} ms  (t={float(root['start']):.3f}s)"
+            f"total={total * 1e3:.3f} ms  "
+            f"(t={float(cast(float, root['start'])):.3f}s)"
         )
-        kids = sorted(children.get(root["span_id"], []),
-                      key=lambda s: (s["start"], s["span_id"]))
-        t0, t1 = float(root["start"]), float(root["end"])
+        kids = sorted(
+            children.get(cast(int, root["span_id"]), []),
+            key=lambda s: (cast(float, s["start"]), cast(int, s["span_id"])),
+        )
+        t0 = float(cast(float, root["start"]))
+        t1 = float(cast(float, root["end"]))
         window = max(t1 - t0, 1e-12)
         for child in kids:
-            s = (float(child["start"]) - t0) / window
-            e = (float(child["end"]) - t0) / window
+            s = (float(cast(float, child["start"])) - t0) / window
+            e = (float(cast(float, child["end"])) - t0) / window
             a = int(round(s * width))
             b = max(a, int(round(e * width)))
             bar = " " * a + "#" * max(b - a, 1 if e > s else 0)

@@ -46,7 +46,7 @@ class PeriodicSampler:
 
     def __init__(
         self,
-        queue: "EventQueue",
+        queue: EventQueue,
         tracer: Tracer,
         registry: MetricsRegistry,
         period: float = 0.5,
@@ -103,8 +103,8 @@ class PeriodicSampler:
 class LinkUtilizationSampler(PeriodicSampler):
     """Per-link utilization (allocated rate / capacity), 0..1."""
 
-    def __init__(self, queue: "EventQueue", tracer: Tracer,
-                 registry: MetricsRegistry, network: "Network",
+    def __init__(self, queue: EventQueue, tracer: Tracer,
+                 registry: MetricsRegistry, network: Network,
                  period: float = 0.5) -> None:
         super().__init__(queue, tracer, registry, period, "sample-links")
         self.network = network
@@ -123,9 +123,9 @@ class DepotSampler(PeriodicSampler):
     network flows touching the depot's node (either direction).
     """
 
-    def __init__(self, queue: "EventQueue", tracer: Tracer,
+    def __init__(self, queue: EventQueue, tracer: Tracer,
                  registry: MetricsRegistry, depots: Iterable["Depot"],
-                 network: "Network", period: float = 0.5) -> None:
+                 network: Network, period: float = 0.5) -> None:
         super().__init__(queue, tracer, registry, period, "sample-depots")
         self.depots = list(depots)
         self.network = network
@@ -149,8 +149,8 @@ class DepotSampler(PeriodicSampler):
 class SchedulerOccupancySampler(PeriodicSampler):
     """How many admitted transfers run in each priority class."""
 
-    def __init__(self, queue: "EventQueue", tracer: Tracer,
-                 registry: MetricsRegistry, scheduler: "TransferScheduler",
+    def __init__(self, queue: EventQueue, tracer: Tracer,
+                 registry: MetricsRegistry, scheduler: TransferScheduler,
                  period: float = 0.5) -> None:
         super().__init__(queue, tracer, registry, period, "sample-scheduler")
         self.scheduler = scheduler
@@ -175,7 +175,7 @@ class CacheSampler(PeriodicSampler):
     totals the fleet.
     """
 
-    def __init__(self, queue: "EventQueue", tracer: Tracer,
+    def __init__(self, queue: EventQueue, tracer: Tracer,
                  registry: MetricsRegistry, agent: object,
                  period: float = 0.5) -> None:
         super().__init__(queue, tracer, registry, period, "sample-cache")
@@ -204,11 +204,11 @@ class CacheSampler(PeriodicSampler):
 
 
 def standard_samplers(
-    queue: "EventQueue",
+    queue: EventQueue,
     tracer: Tracer,
     registry: MetricsRegistry,
-    network: "Network",
-    scheduler: "TransferScheduler",
+    network: Network,
+    scheduler: TransferScheduler,
     depots: Iterable["Depot"],
     agent: object,
     period: float = 0.5,

@@ -25,9 +25,67 @@ Design constraints:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    TypedDict,
+    Union,
+    runtime_checkable,
+)
 
-__all__ = ["Span", "Tracer", "NoopSpan", "NOOP_SPAN", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "SpanDict",
+    "SpanLike",
+    "Tracer",
+    "NoopSpan",
+    "NOOP_SPAN",
+    "NULL_TRACER",
+]
+
+
+class SpanDict(TypedDict):
+    """The JSON shape of one exported span (``Span.to_dict``)."""
+
+    name: str
+    cat: str
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: float
+    attrs: Dict[str, object]
+    events: List[Dict[str, object]]
+
+
+@runtime_checkable
+class SpanLike(Protocol):
+    """What instrumented code may assume about a span it was handed.
+
+    Both :class:`Span` and :class:`NoopSpan` satisfy this, so hot paths can
+    carry a ``SpanLike`` without caring whether tracing is on.
+    """
+
+    @property
+    def trace_id(self) -> Optional[int]: ...
+
+    @property
+    def span_id(self) -> Optional[int]: ...
+
+    def annotate(self, **attrs: object) -> SpanLike: ...
+
+    def event(self, name: str, t: Optional[float] = None,
+              **attrs: object) -> None: ...
+
+    def finish(self, t: Optional[float] = None,
+               **attrs: object) -> SpanLike: ...
+
+    def child(self, name: str, t: Optional[float] = None,
+              category: str = "", **attrs: object) -> SpanLike: ...
 
 
 class Span:
@@ -40,7 +98,7 @@ class Span:
 
     def __init__(
         self,
-        tracer: "Tracer",
+        tracer: Tracer,
         name: str,
         category: str,
         trace_id: int,
@@ -70,7 +128,7 @@ class Span:
         """Seconds between start and end (0.0 while still open)."""
         return 0.0 if self.end is None else self.end - self.start
 
-    def annotate(self, **attrs: object) -> "Span":
+    def annotate(self, **attrs: object) -> Span:
         """Attach key-value attributes (later keys overwrite earlier)."""
         self.attrs.update(attrs)
         return self
@@ -86,7 +144,7 @@ class Span:
             ev.update(attrs)
         self.events.append(ev)
 
-    def finish(self, t: Optional[float] = None, **attrs: object) -> "Span":
+    def finish(self, t: Optional[float] = None, **attrs: object) -> Span:
         """Close the span (idempotent; the first close wins)."""
         if attrs:
             self.attrs.update(attrs)
@@ -97,12 +155,12 @@ class Span:
         return self
 
     def child(self, name: str, t: Optional[float] = None,
-              category: str = "", **attrs: object) -> "Span":
+              category: str = "", **attrs: object) -> Span:
         """Open a child span under this one."""
         return self.tracer.begin(name, parent=self, t=t,
                                  category=category, **attrs)
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> SpanDict:
         """JSON-ready representation (the exporters' input)."""
         return {
             "name": self.name,
@@ -138,7 +196,7 @@ class NoopSpan:
     attrs: Dict[str, object] = {}
     events: List[Dict[str, object]] = []
 
-    def annotate(self, **attrs: object) -> "NoopSpan":
+    def annotate(self, **attrs: object) -> NoopSpan:
         return self
 
     def event(self, name: str, t: Optional[float] = None,
@@ -146,11 +204,11 @@ class NoopSpan:
         return None
 
     def finish(self, t: Optional[float] = None,
-               **attrs: object) -> "NoopSpan":
+               **attrs: object) -> NoopSpan:
         return self
 
     def child(self, name: str, t: Optional[float] = None,
-              category: str = "", **attrs: object) -> "NoopSpan":
+              category: str = "", **attrs: object) -> NoopSpan:
         return self
 
     def to_dict(self) -> Dict[str, object]:
@@ -202,7 +260,7 @@ class Tracer:
     def begin(
         self,
         name: str,
-        parent: Optional[AnySpan] = None,
+        parent: Optional[SpanLike] = None,
         t: Optional[float] = None,
         category: str = "",
         **attrs: object,
@@ -237,7 +295,7 @@ class Tracer:
         name: str,
         start: float,
         end: float,
-        parent: Optional[AnySpan] = None,
+        parent: Optional[SpanLike] = None,
         category: str = "",
         **attrs: object,
     ) -> AnySpan:
@@ -253,7 +311,7 @@ class Tracer:
     def span(
         self,
         name: str,
-        parent: Optional[AnySpan] = None,
+        parent: Optional[SpanLike] = None,
         category: str = "",
         **attrs: object,
     ) -> Iterator[AnySpan]:
@@ -300,7 +358,7 @@ class Tracer:
                 n += 1
         return n
 
-    def span_dicts(self) -> List[Dict[str, object]]:
+    def span_dicts(self) -> List[SpanDict]:
         """All spans as plain dicts (report/export input)."""
         return [s.to_dict() for s in self.spans]
 

@@ -129,12 +129,12 @@ class ClientAgent:
         self.cache_bytes = cache_bytes
         self.max_streams = max_streams
         self.prefetch_cancel_beyond = prefetch_cancel_beyond
-        self._payloads: "OrderedDict[str, bytes]" = OrderedDict()
+        self._payloads: OrderedDict[str, bytes] = OrderedDict()
         self._payload_total = 0
         self._exnodes: Dict[str, ExNode] = {}
         self._staged_lan: Dict[str, ExNode] = {}
         self._flights: Dict[str, _Flight] = {}
-        self._prefetched: set = set()
+        self._prefetched: Set[str] = set()
         self.stats = AgentStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # per-viewset timing marks left behind by _deliver for the client's

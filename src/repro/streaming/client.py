@@ -8,7 +8,9 @@ user experiences: request brokering + communication + decompression.
 
 Decompression is performed **for real** on the received zlib payload and its
 wall-clock time is injected into the simulation (scaled by ``cpu_scale`` to
-model slower client hardware; 1.0 = this machine).
+model slower client hardware; 1.0 = this machine).  For bit-reproducible
+runs, ``cpu_seconds_per_byte`` replaces the measured time with a modeled
+per-byte CPU cost so host timing never reaches the event stream.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from ..lightfield.viewset import ViewSet
 from ..lon.network import Network
 from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
-from ..obs.tracer import NULL_TRACER, Tracer
+from ..obs.tracer import NULL_TRACER, SpanLike, Tracer
 from .agent import ClientAgent
 from .metrics import AccessRecord, AccessSource, SessionMetrics
 from .prefetch import PrefetchPolicy, QuadrantPolicy
@@ -47,6 +49,13 @@ class Client:
     cpu_scale:
         Multiplier applied to measured decompression wall time before it is
         injected as simulated delay (models 2003-era client CPUs).
+    cpu_seconds_per_byte:
+        When set, decompression delay is *modeled* as
+        ``len(payload) * cpu_seconds_per_byte * cpu_scale`` instead of
+        measured — the payload is still decoded for real, but host timing
+        never enters the simulation.  This is the knob the determinism
+        checker relies on: with it, identical seeds give bit-identical
+        event streams across machines and runs.
     """
 
     def __init__(
@@ -60,6 +69,7 @@ class Client:
         resident_capacity: int = 2,
         policy: Optional[PrefetchPolicy] = None,
         cpu_scale: float = 1.0,
+        cpu_seconds_per_byte: Optional[float] = None,
         on_cursor: Optional[Callable[[ViewSetKey], None]] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -67,6 +77,8 @@ class Client:
             raise ValueError("resident_capacity must be >= 1")
         if cpu_scale <= 0:
             raise ValueError("cpu_scale must be positive")
+        if cpu_seconds_per_byte is not None and cpu_seconds_per_byte < 0:
+            raise ValueError("cpu_seconds_per_byte must be non-negative")
         self.node = node
         self.queue = queue
         self.network = network
@@ -77,8 +89,9 @@ class Client:
         self.resident_capacity = resident_capacity
         self.policy = policy if policy is not None else QuadrantPolicy()
         self.cpu_scale = cpu_scale
+        self.cpu_seconds_per_byte = cpu_seconds_per_byte
         self.on_cursor = on_cursor
-        self._resident: "OrderedDict[ViewSetKey, ViewSet]" = OrderedDict()
+        self._resident: OrderedDict[ViewSetKey, ViewSet] = OrderedDict()
         self._current: Optional[ViewSetKey] = None
         self._last_quadrant: Optional[Tuple[ViewSetKey, Tuple[int, int]]] = None
         self._access_index = 0
@@ -87,7 +100,7 @@ class Client:
         self._outstanding: Dict[str, List[Tuple[int, float]]] = {}
         self.tracer = tracer if tracer is not None else NULL_TRACER
         # access index -> open root span, joined back up in complete()
-        self._access_spans: Dict[int, object] = {}
+        self._access_spans: Dict[int, SpanLike] = {}
 
     # ------------------------------------------------------------------
     def resident_keys(self) -> List[ViewSetKey]:
@@ -221,7 +234,12 @@ class Client:
                    mark: Optional[Dict[str, Optional[float]]]) -> None:
             codec = codec_for_payload(payload)
             vs, wall = codec.decompress(payload)
-            decompress = wall * self.cpu_scale
+            if self.cpu_seconds_per_byte is not None:
+                # modeled CPU: keep host timing out of the event stream
+                cost = len(payload) * self.cpu_seconds_per_byte
+            else:
+                cost = wall
+            decompress = cost * self.cpu_scale
             self.queue.schedule_in(
                 decompress,
                 lambda: complete(vs, source, comm_latency, decompress,
@@ -277,7 +295,7 @@ class Client:
 
     def _emit_stage_spans(
         self,
-        root: object,
+        root: SpanLike,
         w_t0: float,
         agent_arrival: float,
         t_first_flow: Optional[float],

@@ -18,9 +18,13 @@ from __future__ import annotations
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..lon.scheduler import TransferEvent
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.tracer import Tracer
 
 __all__ = ["AccessSource", "AccessRecord", "SessionMetrics"]
 
@@ -70,8 +74,8 @@ class SessionMetrics:
     cancelled_transfers: int = 0    # transfers cancelled as no longer useful
     #: the session's tracer / metrics registry, wired by build_rig when
     #: observability is on (None otherwise); breakdown() reads the tracer
-    tracer: Optional[object] = None
-    obs: Optional[object] = None
+    tracer: Optional[Tracer] = None
+    obs: Optional[MetricsRegistry] = None
     _seen_indices: Set[int] = field(default_factory=set, repr=False)
 
     def record_transfer_event(self, ev: TransferEvent) -> None:

@@ -23,7 +23,7 @@ from ..lightfield.lattice import ViewSetKey, parse_viewset_id
 from ..lightfield.source import ViewSetSource
 from ..lon.exnode import ExNode
 from ..lon.ibp import Depot
-from ..lon.lors import LoRS
+from ..lon.lors import Deferred, LoRS
 from ..lon.network import Network
 from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
@@ -226,7 +226,7 @@ class ServerAgent:
             priority=Priority.MAINTENANCE,
         )
 
-        def register(dfd) -> None:
+        def register(dfd: Deferred) -> None:
             if not dfd.failed:
                 self.dvs.register_exnode(req.vid, dfd.result())
 

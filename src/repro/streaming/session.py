@@ -18,7 +18,7 @@ bottleneck); three server depots + DVS + server agent at the remote site.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..lightfield.source import ViewSetSource
 from ..lon.ibp import Depot
@@ -85,6 +85,10 @@ class SessionConfig:
     max_streams: int = 4
     resident_capacity: int = 2
     cpu_scale: float = 1.0
+    #: model decompression CPU as seconds/byte instead of measuring host
+    #: wall time (None = measure).  Set for bit-reproducible runs — the
+    #: determinism checker requires it.
+    cpu_seconds_per_byte: Optional[float] = None
     prefetch_policy: str = "quadrant"
 
     # staging (case 3): concurrency x streams bounds aggressive-staging
@@ -268,6 +272,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         resident_capacity=config.resident_capacity,
         policy=policy,
         cpu_scale=config.cpu_scale,
+        cpu_seconds_per_byte=config.cpu_seconds_per_byte,
         on_cursor=(staging.update_cursor if staging is not None else None),
         tracer=tracer,
     )
@@ -312,14 +317,19 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
 def run_session(
     source: ViewSetSource, config: SessionConfig,
     settle_seconds: float = 60.0,
+    rig_hook: Optional[Callable[[SessionRig], None]] = None,
 ) -> SessionMetrics:
     """Run one full orchestrated session and return its metrics.
 
     ``settle_seconds`` bounds how long after the last cursor sample the
     simulation may run to drain outstanding fetches; staging is stopped at
-    the horizon so the event queue terminates.
+    the horizon so the event queue terminates.  ``rig_hook``, if given, is
+    called with the wired :class:`SessionRig` before any event runs — the
+    determinism checker uses it to attach event-stream observers.
     """
     rig = build_rig(source, config)
+    if rig_hook is not None:
+        rig_hook(rig)
     if rig.staging is not None:
         rig.staging.start()
     for sampler in rig.samplers:

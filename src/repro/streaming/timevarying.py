@@ -18,9 +18,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..lightfield.lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from ..lightfield.source import ViewSetSource
+from ..lon.ibp import Depot
+from ..lon.lors import LoRS
+from ..lon.network import Network
 from ..lon.scheduler import Priority
 from ..lon.simtime import EventQueue
 from .agent import ClientAgent
+from .dvs import DVSServer
 from .metrics import AccessRecord, AccessSource, SessionMetrics
 from .trace import CursorTrace
 
@@ -83,7 +87,8 @@ class TimeVaryingSource:
         return self.payload(t, key)
 
     def distribute(
-        self, lors, depots, dvs, stripe_width: int = 3,
+        self, lors: LoRS, depots: Sequence[Depot], dvs: DVSServer,
+        stripe_width: int = 3,
         block_size: int = 1 << 20, duration: float = 24 * 3600.0,
     ) -> int:
         """Pre-distribute every (timestep, view set) to depots + DVS.
@@ -121,7 +126,7 @@ class TemporalClient:
         self,
         node: str,
         queue: EventQueue,
-        network,
+        network: Network,
         agent: ClientAgent,
         source: TimeVaryingSource,
         metrics: SessionMetrics,

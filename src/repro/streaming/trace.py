@@ -70,7 +70,7 @@ class CursorTrace:
                 current = key
         return out
 
-    def scaled(self, speed: float) -> "CursorTrace":
+    def scaled(self, speed: float) -> CursorTrace:
         """The same spatial path at ``speed``× the angular velocity."""
         if speed <= 0:
             raise ValueError("speed must be positive")
@@ -81,7 +81,7 @@ class CursorTrace:
             ]
         )
 
-    def shifted(self, dt: float) -> "CursorTrace":
+    def shifted(self, dt: float) -> CursorTrace:
         """The same path starting ``dt`` seconds later (staggered clients)."""
         if dt < 0:
             raise ValueError("shift must be non-negative")

@@ -22,6 +22,8 @@ from typing import Tuple
 
 from ..lightfield.lattice import CameraLattice, ViewSetKey, parse_viewset_id
 from ..lightfield.source import ViewSetSource
+from .dvs import DVSServer
+from .server import ServerAgent
 
 __all__ = ["ZoomOverlay", "zoom_vid", "parse_zoom_vid"]
 
@@ -83,7 +85,7 @@ class ZoomOverlay:
             )
         return self.source.payload(key)
 
-    def install(self, server_agent, dvs) -> None:
+    def install(self, server_agent: ServerAgent, dvs: DVSServer) -> None:
         """Wire this overlay into a rig: ids route to runtime generation.
 
         The overlay's ids are registered with the DVS's server-agent table

@@ -79,7 +79,7 @@ class MacrocellGrid:
     cell_world: float       # world-space edge length of one macrocell
 
     @classmethod
-    def build(cls, volume: VolumeGrid, cell_size: int = 4) -> "MacrocellGrid":
+    def build(cls, volume: VolumeGrid, cell_size: int = 4) -> MacrocellGrid:
         """Compute the min-max grid for ``volume``.
 
         ``cell_size`` is in voxels per cell edge.  Classic macrocell
@@ -111,7 +111,7 @@ class MacrocellGrid:
 
     def classify(
         self, transfer: TransferFunction, eps: float = 0.0
-    ) -> "ActiveCells":
+    ) -> ActiveCells:
         """Mark cells active iff their value range can have extinction > eps.
 
         ``eps = 0`` (the default) is the lossless setting: only cells whose

@@ -104,7 +104,7 @@ class VectorField:
         out[inside] = c0 * (1 - fz) + c1 * fz
         return out
 
-    def curl(self) -> "VectorField":
+    def curl(self) -> VectorField:
         """The discrete curl (central differences), as a new field."""
         h = self._voxel
         v = self.data.astype(np.float64)

@@ -189,7 +189,7 @@ class VolumeGrid:
         t_far = tmax.min(axis=1)
         return t_near, t_far
 
-    def normalized(self) -> "VolumeGrid":
+    def normalized(self) -> VolumeGrid:
         """A copy with samples linearly rescaled to [0, 1]."""
         lo, hi = self.value_range
         span = hi - lo

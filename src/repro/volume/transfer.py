@@ -50,7 +50,7 @@ class TransferFunction:
     @classmethod
     def from_list(
         cls, rows: Sequence[Tuple[float, float, float, float, float]]
-    ) -> "TransferFunction":
+    ) -> TransferFunction:
         """Build from a list of (value, r, g, b, alpha) tuples."""
         return cls(points=np.asarray(rows, dtype=np.float64))
 

@@ -1,0 +1,450 @@
+"""Fixture tests for the simulation-correctness lint passes.
+
+Every rule gets a must-flag and a must-not-flag snippet, so a pass that
+goes silent (or one that starts shouting at idiomatic code) fails a test
+rather than silently degrading the CI gate.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import RULES, Finding, lint_source
+
+SIM_PATH = "src/repro/lon/fake_module.py"
+OUTSIDE_PATH = "benchmarks/fake_bench.py"
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run(source, path=SIM_PATH, rules=None):
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# SIM001 wall-clock-in-sim
+# ----------------------------------------------------------------------
+class TestSIM001:
+    @pytest.mark.parametrize("call", [
+        "time.time()",
+        "time.monotonic()",
+        "time.perf_counter()",
+        "time.time_ns()",
+        "time.monotonic_ns()",
+    ])
+    def test_flags_wall_clock_calls(self, call):
+        findings = run(f"""
+            import time
+
+            def step():
+                return {call}
+        """)
+        assert "SIM001" in rule_ids(findings)
+
+    @pytest.mark.parametrize("call", [
+        "datetime.now()",
+        "datetime.utcnow()",
+        "datetime.today()",
+        "datetime.datetime.now()",
+    ])
+    def test_flags_argless_datetime_now(self, call):
+        findings = run(f"""
+            import datetime
+            from datetime import datetime
+
+            def stamp():
+                return {call}
+        """)
+        assert "SIM001" in rule_ids(findings)
+
+    def test_datetime_now_with_tz_arg_ok(self):
+        # an explicit tz turns now() into a deliberate conversion, and the
+        # rule targets implicit wall-clock reads only
+        findings = run("""
+            from datetime import datetime, timezone
+
+            def stamp():
+                return datetime.now(timezone.utc)
+        """)
+        assert "SIM001" not in rule_ids(findings)
+
+    def test_flags_module_level_random(self):
+        findings = run("""
+            import random
+
+            def jitter():
+                return random.random() + random.uniform(0.0, 1.0)
+        """)
+        assert "SIM001" in rule_ids(findings)
+
+    def test_flags_legacy_np_random(self):
+        findings = run("""
+            import numpy as np
+
+            def noise():
+                return np.random.rand(4)
+        """)
+        assert "SIM001" in rule_ids(findings)
+
+    def test_seeded_default_rng_ok(self):
+        findings = run("""
+            import numpy as np
+
+            def noise(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(4)
+        """)
+        assert "SIM001" not in rule_ids(findings)
+
+    def test_random_instance_method_ok(self):
+        # random.Random(seed) instances are seeded by construction
+        findings = run("""
+            import random
+
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.random()
+        """)
+        assert "SIM001" not in rule_ids(findings)
+
+    def test_outside_sim_scope_ok(self):
+        findings = run("""
+            import time
+
+            def bench():
+                return time.perf_counter()
+        """, path=OUTSIDE_PATH)
+        assert "SIM001" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# SIM002 unsorted-set-iteration
+# ----------------------------------------------------------------------
+class TestSIM002:
+    def test_flags_set_iteration_in_scheduling_function(self):
+        findings = run("""
+            def rebalance(self):
+                for fid in set(self.flows):
+                    self.queue.schedule(0.0, lambda: None)
+        """)
+        assert "SIM002" in rule_ids(findings)
+
+    def test_flags_annotated_set_attribute(self):
+        findings = run("""
+            from typing import Set
+
+            class Net:
+                def __init__(self):
+                    self._members: Set[int] = set()
+
+                def flush(self):
+                    for fid in self._members:
+                        self.schedule(fid)
+        """)
+        assert "SIM002" in rule_ids(findings)
+
+    def test_flags_dict_of_set_value_iteration(self):
+        findings = run("""
+            from typing import Dict, Set
+
+            class Net:
+                def __init__(self):
+                    self._members: Dict[int, Set[int]] = {}
+
+                def _rebalance_row(self, row):
+                    for fid in self._members[row]:
+                        self.schedule(fid)
+        """)
+        assert "SIM002" in rule_ids(findings)
+
+    def test_sorted_wrapper_ok(self):
+        findings = run("""
+            def rebalance(self):
+                for fid in sorted(set(self.flows)):
+                    self.queue.schedule(0.0, lambda: None)
+        """)
+        assert "SIM002" not in rule_ids(findings)
+
+    def test_sorted_generator_argument_ok(self):
+        # a comprehension that is itself the argument of sorted() is ordered
+        findings = run("""
+            def rebalance(self, members):
+                rows = sorted(row for row in self._dirty if row in members)
+                for row in rows:
+                    self.schedule(row)
+        """)
+        assert "SIM002" not in rule_ids(findings)
+
+    def test_non_scheduling_function_ok(self):
+        findings = run("""
+            def census(self):
+                total = 0
+                for fid in set(self.flows):
+                    total += 1
+                return total
+        """)
+        assert "SIM002" not in rule_ids(findings)
+
+    def test_list_iteration_ok(self):
+        findings = run("""
+            from typing import List
+
+            class Net:
+                def __init__(self):
+                    self._order: List[int] = []
+
+                def flush(self):
+                    for fid in self._order:
+                        self.schedule(fid)
+        """)
+        assert "SIM002" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# SIM003 event-queue-bypass
+# ----------------------------------------------------------------------
+class TestSIM003:
+    def test_flags_heap_access_outside_simtime(self):
+        findings = run("""
+            import heapq
+
+            def sneak(queue, entry):
+                heapq.heappush(queue._heap, entry)
+        """)
+        assert "SIM003" in rule_ids(findings)
+
+    def test_flags_event_construction_outside_simtime(self):
+        findings = run("""
+            from repro.lon.simtime import Event
+
+            def forge(t, cb):
+                return Event(time=t, seq=0, callback=cb)
+        """)
+        assert "SIM003" in rule_ids(findings)
+
+    def test_simtime_itself_ok(self):
+        findings = run("""
+            def step(self):
+                entry = self._heap[0]
+                return Event(time=0.0, seq=1, callback=None)
+        """, path="src/repro/lon/simtime.py")
+        assert "SIM003" not in rule_ids(findings)
+
+    def test_queue_api_ok(self):
+        findings = run("""
+            def use(queue):
+                queue.schedule_in(1.0, lambda: None, label="ok")
+        """)
+        assert "SIM003" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# SIM004 mutable-default-arg
+# ----------------------------------------------------------------------
+class TestSIM004:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()", "dict()",
+                                         "list()"])
+    def test_flags_mutable_defaults(self, default):
+        findings = run(f"""
+            def build(items={default}):
+                return items
+        """)
+        assert "SIM004" in rule_ids(findings)
+
+    def test_none_default_ok(self):
+        findings = run("""
+            def build(items=None):
+                return items or []
+        """)
+        assert "SIM004" not in rule_ids(findings)
+
+    def test_immutable_defaults_ok(self):
+        findings = run("""
+            def build(items=(), label="", count=0):
+                return items
+        """)
+        assert "SIM004" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# SIM005 float-time-equality
+# ----------------------------------------------------------------------
+class TestSIM005:
+    def test_flags_eq_on_now(self):
+        findings = run("""
+            def ready(self, deadline):
+                return self.clock.now == deadline
+        """)
+        assert "SIM005" in rule_ids(findings)
+
+    def test_flags_neq_on_time_suffix(self):
+        findings = run("""
+            def stale(self, arrival_time, finish_time):
+                return arrival_time != finish_time
+        """)
+        assert "SIM005" in rule_ids(findings)
+
+    def test_flags_at_suffix(self):
+        findings = run("""
+            def due(self, fires_at, expires_at):
+                return fires_at == expires_at
+        """)
+        assert "SIM005" in rule_ids(findings)
+
+    def test_ordering_comparison_ok(self):
+        findings = run("""
+            def before(self, deadline):
+                return self.clock.now < deadline
+        """)
+        assert "SIM005" not in rule_ids(findings)
+
+    def test_non_time_names_ok(self):
+        findings = run("""
+            def same(self, left_rate, right_rate):
+                return left_rate == right_rate
+        """)
+        assert "SIM005" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# suppression comments
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_same_line_allow(self):
+        findings = run("""
+            import time
+
+            def bench():
+                return time.perf_counter()  # repro: allow[SIM001]
+        """)
+        assert "SIM001" not in rule_ids(findings)
+
+    def test_preceding_line_allow(self):
+        findings = run("""
+            import time
+
+            def bench():
+                # repro: allow[SIM001]
+                return time.perf_counter()
+        """)
+        assert "SIM001" not in rule_ids(findings)
+
+    def test_allow_lists_multiple_rules(self):
+        # both violations live on the same line; one comment covers both
+        unsuppressed = run("""
+            import time
+
+            def expired(self):
+                return time.time() == self.deadline
+        """)
+        assert rule_ids(unsuppressed) == ["SIM001", "SIM005"]
+        findings = run("""
+            import time
+
+            def expired(self):
+                return time.time() == self.deadline  # repro: allow[SIM001, SIM005]
+        """)
+        assert rule_ids(findings) == []
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        findings = run("""
+            import time
+
+            def bench():
+                return time.time()  # repro: allow[SIM004]
+        """)
+        assert "SIM001" in rule_ids(findings)
+
+
+# ----------------------------------------------------------------------
+# findings / API shape
+# ----------------------------------------------------------------------
+class TestFindingShape:
+    def test_every_rule_has_slug_and_description(self):
+        for rule, (slug, desc) in RULES.items():
+            assert rule.startswith("SIM")
+            assert slug and desc
+
+    def test_render_includes_location_rule_and_hint(self):
+        findings = run("""
+            import time
+
+            def step():
+                return time.time()
+        """)
+        f = next(f for f in findings if f.rule == "SIM001")
+        assert isinstance(f, Finding)
+        text = f.render()
+        assert SIM_PATH in text
+        assert f"{f.line}:{f.col}" in text
+        assert "SIM001" in text
+        assert "fix:" in text
+
+    def test_rules_filter_restricts_output(self):
+        findings = run("""
+            import time
+
+            def step(seen=[]):
+                seen.append(time.time())
+                return seen
+        """, rules=["SIM004"])
+        assert rule_ids(findings) == ["SIM004"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCLI:
+    def _run_cli(self, tmp_path, source, args=()):
+        target = tmp_path / "repro" / "lon" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(textwrap.dedent(source))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint",
+             str(target), *args],
+            capture_output=True, text=True, env=_cli_env(),
+        )
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        proc = self._run_cli(tmp_path, """
+            def fine(x: int) -> int:
+                return x + 1
+        """)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_violation_exits_one_and_prints_finding(self, tmp_path):
+        proc = self._run_cli(tmp_path, """
+            import time
+
+            def step():
+                return time.time()
+        """)
+        assert proc.returncode == 1
+        assert "SIM001" in proc.stdout
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        proc = self._run_cli(tmp_path, "x = 1\n", args=["--rule", "SIM999"])
+        assert proc.returncode == 2
+
+    def test_repo_src_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "lint",
+             str(REPO_ROOT / "src")],
+            capture_output=True, text=True, env=_cli_env(),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

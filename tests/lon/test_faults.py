@@ -88,7 +88,7 @@ class TestFlakyLinks:
         windows = flaky.schedule_cycles(horizon=50.0, mean_up=5.0,
                                         mean_down=1.0)
         assert windows
-        for down_at, up_at, link in windows:
+        for down_at, up_at, _link in windows:
             assert down_at < up_at <= 50.0
 
     def test_same_seed_same_windows(self, rig):

@@ -189,9 +189,6 @@ class TestDownload:
             "f", data, [depots["ca1"], depots["ca2"]],
             stripe_width=1, replicas=2, block_size=8192,
         )
-        # kill the primary replica's depot allocations
-        for key in list(depots["ca1"].keys()):
-            pass
         # simulate depot loss by unregistering ca1: lookups fail -> failover
         lbone.unregister("ca1")
         deferred = lors.download(ex, "agent")

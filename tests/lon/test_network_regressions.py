@@ -39,7 +39,7 @@ class TestDrainTailRebalance:
             q.schedule(
                 i * 0.013,
                 lambda i=i: net.transfer(
-                    "a", "b", 40_000 + i * 1000, lambda f: done.append(i)
+                    "a", "b", 40_000 + i * 1000, lambda f, i=i: done.append(i)
                 ),
             )
         q.run()

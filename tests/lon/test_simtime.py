@@ -215,8 +215,9 @@ class TestHeapCompaction:
         for ev in events[:60]:
             q.cancel(ev)
         assert q.compactions >= 1
-        assert len(q._heap) - q._garbage == 40  # live entries after rebuild
-        assert len(q._heap) < 100               # garbage actually dropped
+        # white-box: compaction is literally about heap internals
+        assert len(q._heap) - q._garbage == 40  # repro: allow[SIM003]
+        assert len(q._heap) < 100               # repro: allow[SIM003]
         assert len(q) == 40
 
     def test_no_compaction_below_min_size(self):

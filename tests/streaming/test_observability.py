@@ -11,8 +11,8 @@ import pytest
 
 from repro.lightfield.lattice import CameraLattice
 from repro.lightfield.source import SyntheticSource
-from repro.obs.report import access_roots, stage_breakdown
 from repro.obs.export import load_trace, write_chrome_trace
+from repro.obs.report import access_roots, stage_breakdown
 from repro.streaming.metrics import AccessSource
 from repro.streaming.session import SessionConfig, run_session
 
@@ -157,6 +157,14 @@ class TestTracedSession:
         text = trace_report(str(out), max_accesses=3)
         assert "per-stage latency breakdown" in text
         assert "network-transfer" in text
+
+    def test_write_chrome_trace_accepts_path_object(self, traced, tmp_path):
+        """The CLI passes a pathlib.Path, not a str — both must work."""
+        m, _, _ = traced
+        out = tmp_path / "path-arg-trace.json"
+        n = write_chrome_trace(m.tracer, out)
+        assert n > 0 and out.exists()
+        assert load_trace(str(out))
 
     def test_no_open_spans_after_run(self, traced):
         _, spans, _ = traced
