@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Fail CI when BENCH_scale.json throughput regresses against the baseline.
+
+``BENCH_scale.json`` is committed, so the repo always carries the last
+accepted performance envelope.  The scale-bench job regenerates the file
+on the runner and this script compares the *fresh* ``wall_clock``
+throughput numbers against the *committed* ones (``git show
+<ref>:BENCH_scale.json``), failing on any >25% events/s drop.
+
+Only the ``wall_clock`` section is compared — the deterministic payload is
+guarded by the benchmark's own assertions and by review diffs.  Keys are
+matched by name (``"8/incremental"``, sharded ``"4"``); keys present on
+only one side (e.g. fleet sizes that differ between ``REPRO_SCALE=small``
+CI runs and full-scale committed baselines) are reported but not compared.
+
+The threshold is deliberately loose: it is a guard against order-of-
+magnitude mistakes (an accidentally quadratic path, a dead fast-path),
+not a microbenchmark.  Tune per-invocation with ``--threshold`` or the
+``REPRO_BENCH_TOLERANCE`` environment variable.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, Optional, Tuple
+
+ARTIFACT = "BENCH_scale.json"
+
+
+def committed_baseline(ref: str) -> Optional[dict]:
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{ARTIFACT}"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    return json.loads(blob)
+
+
+def throughputs(doc: dict) -> Dict[str, Tuple[float, float]]:
+    """Flatten every (events/s, wall s) figure in the wall_clock section."""
+    wall = doc.get("wall_clock", {})
+    out: Dict[str, Tuple[float, float]] = {}
+    for key, row in wall.get("runs", {}).items():
+        out[f"run:{key}"] = (float(row["events_per_second"]),
+                             float(row["wall_s"]))
+    for key, row in wall.get("sharded", {}).items():
+        out[f"sharded:{key}"] = (float(row["events_per_second"]),
+                                 float(row["makespan_s"]))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh BENCH_scale.json throughput vs committed")
+    parser.add_argument("--fresh", default=ARTIFACT,
+                        help="freshly generated artifact (default: %(default)s)")
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baseline (default: HEAD)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        help="max tolerated fractional events/s drop (default 0.25)")
+    parser.add_argument(
+        "--min-wall", type=float, default=0.2,
+        help="skip runs measured in under this many wall seconds on "
+             "either side — too short for a stable throughput figure "
+             "(default 0.2)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.fresh) as f:
+            fresh_doc = json.load(f)
+    except FileNotFoundError:
+        print(f"error: {args.fresh} not found — run the scale benchmark "
+              "first", file=sys.stderr)
+        return 2
+    base_doc = committed_baseline(args.ref)
+    if base_doc is None:
+        print(f"no committed {ARTIFACT} at {args.ref}; nothing to compare")
+        return 0
+
+    fresh = throughputs(fresh_doc)
+    base = throughputs(base_doc)
+    common = sorted(set(fresh) & set(base))
+    skipped = sorted(set(fresh) ^ set(base))
+    if not common:
+        print("no common wall_clock keys between fresh and committed "
+              "artifacts; nothing to compare")
+        return 0
+
+    regressions = []
+    compared = 0
+    print(f"{'key':<24} {'committed':>12} {'fresh':>12} {'ratio':>8}")
+    for key in common:
+        base_eps, base_wall = base[key]
+        fresh_eps, fresh_wall = fresh[key]
+        if min(base_wall, fresh_wall) < args.min_wall:
+            print(f"{key:<24} {base_eps:>12.1f} {fresh_eps:>12.1f} "
+                  f"{'—':>8}  (sub-{args.min_wall}s run, not compared)")
+            continue
+        compared += 1
+        ratio = fresh_eps / base_eps if base_eps else float("inf")
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            regressions.append(key)
+            flag = "  << REGRESSION"
+        print(f"{key:<24} {base_eps:>12.1f} {fresh_eps:>12.1f} "
+              f"{ratio:>7.2f}x{flag}")
+    if skipped:
+        print(f"(skipped {len(skipped)} keys present on one side only: "
+              f"{', '.join(skipped)})")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} throughput regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no events/s drop beyond {args.threshold:.0%} across "
+          f"{compared} compared runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,8 +19,10 @@ from typing import List, Optional
 from . import lint
 from .determinism import (
     check_determinism,
+    compare_fingerprints,
     multiclient_fingerprint,
     session_fingerprint,
+    sharded_fingerprint,
 )
 
 
@@ -40,6 +42,12 @@ def _determinism_main(argv: List[str]) -> int:
                         help="cursor accesses for the single-client run")
     parser.add_argument("--skip-single", action="store_true",
                         help="skip the single-client scenario")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard count for the sharded-vs-single-process "
+                             "equivalence check (0 skips it)")
+    parser.add_argument("--skip-modes", action="store_true",
+                        help="skip the batched-vs-incremental equivalence "
+                             "check")
     args = parser.parse_args(argv)
 
     reports = []
@@ -61,6 +69,42 @@ def _determinism_main(argv: List[str]) -> int:
             ),
             runs=args.runs,
         ))
+        if not args.skip_modes:
+            # cross-mode equivalence: the batched array flush must emit
+            # the exact event stream the incremental path does
+            reports.append(compare_fingerprints(
+                multiclient_fingerprint(
+                    seed=args.seed,
+                    n_clients=args.clients,
+                    resolution=args.resolution,
+                    rebalance="incremental",
+                ),
+                multiclient_fingerprint(
+                    seed=args.seed,
+                    n_clients=args.clients,
+                    resolution=args.resolution,
+                    rebalance="batched",
+                ),
+            ))
+        if args.shards > 0:
+            # parallel-execution equivalence: worker processes must merge
+            # to the stream the sequential shard loop produces
+            reports.append(compare_fingerprints(
+                sharded_fingerprint(
+                    seed=args.seed,
+                    n_clients=args.clients,
+                    n_shards=args.shards,
+                    workers=1,
+                    resolution=args.resolution,
+                ),
+                sharded_fingerprint(
+                    seed=args.seed,
+                    n_clients=args.clients,
+                    n_shards=args.shards,
+                    workers=args.shards,
+                    resolution=args.resolution,
+                ),
+            ))
     if not reports:
         print("nothing to check (single skipped, --clients 0)")
         return 2

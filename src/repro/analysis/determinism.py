@@ -44,8 +44,10 @@ __all__ = [
     "Divergence",
     "DeterminismReport",
     "check_determinism",
+    "compare_fingerprints",
     "session_fingerprint",
     "multiclient_fingerprint",
+    "sharded_fingerprint",
 ]
 
 #: modeled decompression cost used by the canned fingerprint configs —
@@ -269,12 +271,32 @@ def session_fingerprint(
     )
 
 
+def compare_fingerprints(
+    a: RunFingerprint, b: RunFingerprint
+) -> DeterminismReport:
+    """Compare two fingerprints from *different* scenarios.
+
+    Where :func:`check_determinism` proves one scenario replays
+    identically, this proves two scenarios that *should* be equivalent —
+    batched vs incremental rebalancing, sharded vs single-process —
+    actually produce the same event stream, transfer log and breakdown.
+    """
+    div = _first_divergence(a, b)
+    label = f"{a.label} == {b.label}"
+    if div is not None:
+        return DeterminismReport(
+            label=label, ok=False, runs=[a, b], divergence=div,
+        )
+    return DeterminismReport(label=label, ok=True, runs=[a, b])
+
+
 def multiclient_fingerprint(
     seed: int = 7,
     n_clients: int = 8,
     resolution: int = 32,
     n_accesses: int = 10,
     case: int = 3,
+    rebalance: str = "incremental",
     rig_hook: Optional[Callable[["MultiClientRig"], None]] = None,
 ) -> RunFingerprint:
     """Fingerprint one seeded N-client rig (default 8 clients).
@@ -282,6 +304,8 @@ def multiclient_fingerprint(
     The N-client regime is where the hazards live: shared-scheduler
     rebalances, cross-client dedup and staggered starts all multiply the
     same-timestamp ties that set-iteration order could silently break.
+    ``rebalance`` selects the network re-rating mode, so cross-mode
+    equivalence (batched vs incremental) is a fingerprint comparison.
     """
     from ..lightfield.lattice import CameraLattice
     from ..lightfield.source import SyntheticSource
@@ -297,6 +321,7 @@ def multiclient_fingerprint(
         trace_seed=seed,
         tracing=True,
         cpu_seconds_per_byte=MODELED_CPU_SECONDS_PER_BYTE,
+        network_rebalance=rebalance,
     )
     config = MultiClientConfig(base=base, n_clients=n_clients)
     lattice = CameraLattice(n_theta=12, n_phi=24, l=3)
@@ -313,7 +338,62 @@ def multiclient_fingerprint(
     breakdown = result.per_client[0].breakdown()
     return RunFingerprint(
         label=(f"multiclient(n={n_clients},case={case},"
-               f"seed={seed},res={resolution})"),
+               f"seed={seed},res={resolution},rebalance={rebalance})"),
+        seed=seed,
+        n_events=len(events),
+        event_hash=_digest(events),
+        transfer_hash=_digest(transfers),
+        breakdown_hash=_digest(breakdown),
+        events=events,
+        transfers=transfers,
+        breakdown=breakdown,
+    )
+
+
+def sharded_fingerprint(
+    seed: int = 7,
+    n_clients: int = 8,
+    n_shards: int = 2,
+    workers: int = 1,
+    resolution: int = 32,
+    n_accesses: int = 10,
+    case: int = 3,
+    rebalance: str = "incremental",
+) -> RunFingerprint:
+    """Fingerprint a sharded fleet (merged per-shard streams).
+
+    ``workers=1`` is the sequential reference; ``workers=n_shards`` runs
+    one process per shard.  Comparing the two through
+    :func:`compare_fingerprints` is the sharded-vs-single-process safety
+    net: the parallel path must merge to the exact event stream the
+    sequential path produces.
+    """
+    from ..lightfield.lattice import CameraLattice
+    from ..lightfield.source import SyntheticSource
+    from ..lon.shard import run_sharded_session
+    from ..streaming.multiclient import MultiClientConfig
+    from ..streaming.session import SessionConfig
+
+    base = SessionConfig(
+        case=case,
+        n_accesses=n_accesses,
+        trace_seed=seed,
+        cpu_seconds_per_byte=MODELED_CPU_SECONDS_PER_BYTE,
+        network_rebalance=rebalance,
+    )
+    config = MultiClientConfig(base=base, n_clients=n_clients)
+    lattice = CameraLattice(n_theta=12, n_phi=24, l=3)
+    source = SyntheticSource(lattice, resolution=resolution, seed=2003)
+    result = run_sharded_session(
+        source, config, n_shards=n_shards, workers=workers,
+        collect_streams=True,
+    )
+    events = result.merged_events()
+    transfers = result.merged_transfers()
+    breakdown = result.per_client[0].breakdown()
+    return RunFingerprint(
+        label=(f"sharded(n={n_clients},shards={n_shards},"
+               f"workers={workers},seed={seed},rebalance={rebalance})"),
         seed=seed,
         n_events=len(events),
         event_hash=_digest(events),

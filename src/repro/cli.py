@@ -193,9 +193,21 @@ def cmd_multiclient(args) -> int:
         seed_stride=args.seed_stride,
         start_stagger=args.stagger,
     )
-    result = run_multiclient_session(source, config)
+    if args.shards > 1:
+        from .lon.shard import run_sharded_session
+
+        sharded = run_sharded_session(
+            source, config, n_shards=args.shards,
+            workers=args.shard_workers, window=args.shard_window,
+        )
+        per_client = sharded.per_client
+        agg = sharded.aggregate()
+    else:
+        result = run_multiclient_session(source, config)
+        per_client = result.per_client
+        agg = result.aggregate()
     rows = []
-    for m in result.per_client:
+    for m in per_client:
         s = m.summary()
         rows.append([s["case"], s["accesses"], s["hit_rate"], s["wan_rate"],
                      s["mean_latency_s"]])
@@ -203,13 +215,16 @@ def cmd_multiclient(args) -> int:
         headers=["client", "accesses", "hit rate", "wan rate", "mean s"],
         rows=rows,
     ))
-    agg = result.aggregate()
-    print(f"\n{agg['n_clients']} clients, {agg['accesses']} accesses, "
-          f"fleet mean latency {agg['mean_latency']} s")
+    print(f"\n{agg['n_clients']} clients, {agg['accesses']} accesses"
+          + (f", fleet mean latency {agg['mean_latency']} s"
+             if 'mean_latency' in agg else ""))
+    shard_note = (f", {agg['n_shards']} shards x {agg['workers']} workers"
+                  if 'n_shards' in agg else
+                  f", rebalance={agg['rebalance']}")
     print(f"simulated {agg['sim_seconds']} s in {agg['wall_seconds']} s wall "
           f"({agg['events_fired']} events, "
-          f"{agg['events_per_second']:.0f} events/s, "
-          f"rebalance={agg['rebalance']})")
+          f"{agg['events_per_second']:.0f} events/s"
+          + shard_note + ")")
     return 0
 
 
@@ -293,8 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-client start delay in seconds")
     mc.add_argument("--lattice", default="12x24x3")
     mc.add_argument("--rebalance", default="incremental",
-                    choices=["incremental", "full"],
+                    choices=["incremental", "batched", "full"],
                     help="network re-rating strategy")
+    mc.add_argument("--shards", type=int, default=1,
+                    help="partition the fleet into N independent shards "
+                         "(clients pinned to per-shard depot groups); "
+                         ">1 runs one worker process per shard")
+    mc.add_argument("--shard-workers", type=int, default=None,
+                    help="worker processes for sharded runs (default: one "
+                         "per shard; 1 = sequential reference execution)")
+    mc.add_argument("--shard-window", type=float, default=30.0,
+                    help="conservative sync window in simulated seconds")
     mc.set_defaults(func=cmd_multiclient)
 
     t = sub.add_parser(

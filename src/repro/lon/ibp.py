@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -112,13 +112,21 @@ class Capability:
 
 @dataclass
 class Allocation:
-    """A leased byte array on a depot."""
+    """A leased byte array on a depot.
+
+    ``data`` is an immutable snapshot of the written extent.  Immutability
+    is what lets the depot data plane move *references* instead of bytes:
+    a full-cover store adopts the caller's buffer, and a full-extent
+    load/copy_out hands the same object back.  Block-granular allocations
+    (how LoRS stripes everything) hit those paths on every operation, so
+    the simulator stops paying real memcpy time for simulated payloads.
+    """
 
     key: str
     size: int
     expires_at: float
     soft: bool
-    data: bytearray = field(default_factory=bytearray)
+    data: bytes = b""
     refcount: int = 1
     bytes_written: int = 0
 
@@ -310,9 +318,18 @@ class Depot:
                 f"{self.name}: write [{offset}, {end}) exceeds allocation "
                 f"size {alloc.size}"
             )
-        if len(alloc.data) < end:
-            alloc.data.extend(b"\x00" * (end - len(alloc.data)))
-        alloc.data[offset:end] = data
+        if not isinstance(data, bytes):
+            data = bytes(data)  # detach from caller-mutable buffers
+        if offset == 0 and end >= len(alloc.data):
+            # full-cover write (the LoRS block-store pattern): adopt the
+            # caller's immutable buffer — no copy
+            alloc.data = data
+        else:
+            buf = bytearray(alloc.data)
+            if len(buf) < end:
+                buf.extend(b"\x00" * (end - len(buf)))
+            buf[offset:end] = data
+            alloc.data = bytes(buf)
         alloc.bytes_written = max(alloc.bytes_written, end)
         self.stats.stores += 1
         self.stats.bytes_stored += len(data)
@@ -331,7 +348,9 @@ class Depot:
                 f"{self.name}: read [{offset}, {end}) exceeds allocation "
                 f"size {alloc.size}"
             )
-        chunk = bytes(alloc.data[offset:end])
+        data = alloc.data
+        # full-extent read: hand back the stored snapshot itself — no copy
+        chunk = data if offset == 0 and end == len(data) else data[offset:end]
         if len(chunk) < length:  # reading past written extent yields zeros
             chunk += b"\x00" * (length - len(chunk))
         self.stats.loads += 1
@@ -346,7 +365,9 @@ class Depot:
         if length is None:
             length = alloc.bytes_written - offset
         self.stats.copies += 1
-        chunk = bytes(alloc.data[offset:offset + length])
+        data = alloc.data
+        end = offset + length
+        chunk = data if offset == 0 and end == len(data) else data[offset:end]
         if len(chunk) < length:
             chunk += b"\x00" * (length - len(chunk))
         self.stats.bytes_copied += len(chunk)

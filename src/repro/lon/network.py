@@ -25,7 +25,7 @@ Routing is shortest-path by latency over a :mod:`networkx` graph.  Transfers
 deliver their completion callback after ``path propagation latency +
 serialization time at the allocated rate``.
 
-Two rebalancing modes govern how re-rating scales (``rebalance=``):
+Three rebalancing modes govern how re-rating scales (``rebalance=``):
 
 * ``"incremental"`` (default) — per-link flow membership is tracked; a
   change marks its links dirty, triggers at the same timestamp coalesce
@@ -37,6 +37,15 @@ Two rebalancing modes govern how re-rating scales (``rebalance=``):
   has run — which happens automatically before any event at a later
   timestamp fires; synchronous callers inspecting ``Flow.rate`` right
   after a change should call ``flush()`` first.
+* ``"batched"`` — incremental's trigger/coalescing machinery with an
+  array-based flush: every dirty component triggered at one timestamp is
+  gathered into one stacked flow set, drain detection / settling /
+  epsilon gating / completion-ETA computation all run as contiguous
+  numpy array operations, and only flows that genuinely need a new
+  completion event touch python objects.  The per-flow arithmetic is
+  written to be bit-identical to the incremental path (same expressions,
+  same evaluation order), so a batched run fingerprints identically to
+  an incremental run under ``repro.analysis determinism``.
 * ``"full"`` — every change synchronously recomputes all flows and
   reschedules every completion event (O(flows × links) per change); kept
   as the reference implementation and the benchmark baseline.
@@ -75,7 +84,7 @@ __all__ = [
 ]
 
 #: accepted values for ``Network(rebalance=...)``
-REBALANCE_MODES = ("incremental", "full")
+REBALANCE_MODES = ("incremental", "batched", "full")
 
 
 def mbps(x: float) -> float:
@@ -122,12 +131,17 @@ class Link:
         return frozenset((self.a, self.b))
 
 
-@dataclass
+@dataclass(eq=False)
 class Flow:
     """An in-progress bulk transfer along a fixed path.
 
     Bookkeeping invariant: ``remaining`` is exact as of ``last_update``;
     between rate changes the flow drains linearly at ``rate`` bytes/second.
+
+    ``eq=False``: flows compare (and hash) by identity.  The generated
+    field-wise ``__eq__`` was never meaningful — two distinct transfers are
+    never "equal" — and it made every admitted-set membership test an O(n)
+    deep comparison over paths and callbacks on the hot trigger path.
     """
 
     src: str
@@ -203,6 +217,8 @@ class RebalanceStats:
                                  # fast path (no water-filling rounds)
     fast_rated: int = 0          # triggers absorbed without any flush: the
                                  # flow's links all had cap-sum headroom
+    batched_flushes: int = 0     # flushes that took the array-dispatch path
+    batch_flows: int = 0         # flows settled/gated through array ops
 
 
 class Network:
@@ -247,16 +263,25 @@ class Network:
         self.stats = RebalanceStats()
         self.graph = nx.Graph()
         self._links: Dict[FrozenSet[str], Link] = {}
-        self._flows: List[Flow] = []
+        # admitted flows by stable fid (insertion order = admission order,
+        # which the full-recompute iteration depends on).  A dict rather
+        # than a list: membership tests and removal on the trigger path
+        # are O(1) int hashes instead of O(n) scans.
+        self._flows: Dict[int, Flow] = {}
         self._fid_counter = itertools.count()
         self._route_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        # (path links, propagation latency) per endpoint pair: transfer()
+        # and rpc_delay() resolve their whole path in one dict hit instead
+        # of re-walking link objects per call
+        self._path_cache: Dict[
+            Tuple[str, str], Tuple[Tuple[FrozenSet[str], ...], float]
+        ] = {}
         # incremental-rebalance state: link row -> ids of *contending*
-        # flows (admitted, not paused, not drained), the id -> flow map
-        # backing it, the dirty row seeds, and the pending same-timestamp
-        # flush.  Links are identified by their stable int row from
-        # ``_row_of`` so the hot closure walk hashes ints, not frozensets.
+        # flows (admitted, not paused, not drained), the dirty row seeds,
+        # and the pending same-timestamp flush.  Links are identified by
+        # their stable int row from ``_row_of`` so the hot closure walk
+        # hashes ints, not frozensets.
         self._members: Dict[int, Set[int]] = {}
-        self._flow_by_id: Dict[int, Flow] = {}
         self._dirty: Set[int] = set()
         self._flush_event: Optional[Event] = None
         # stable global link rows for the vectorized water-fill: each link
@@ -291,6 +316,7 @@ class Network:
         self._links[link.key] = link
         self.graph.add_edge(a, b, latency=latency)
         self._route_cache.clear()
+        self._path_cache.clear()
         row = self._row_of.get(link.key)
         if row is None:
             self._row_of[link.key] = len(self._row_bw)
@@ -325,11 +351,13 @@ class Network:
             return
         link.up = up
         self._route_cache.clear()
+        self._path_cache.clear()
         if up:
             self.graph.add_edge(a, b, latency=link.latency)
         else:
             self.graph.remove_edge(a, b)
-            doomed = [f for f in self._flows if link.key in f.path_links]
+            doomed = [f for f in self._flows.values()
+                      if link.key in f.path_links]
             for f in doomed:
                 self._fail_flow(f, NetworkError(f"link {a}<->{b} went down"))
 
@@ -350,12 +378,39 @@ class Network:
         self._route_cache[key] = path
         return path
 
+    def _resolve_path(
+        self, src: str, dst: str
+    ) -> Tuple[Tuple[FrozenSet[str], ...], float]:
+        """(path link keys, one-way propagation latency), cached.
+
+        transfer() and rpc_delay() both need the same two facts about an
+        endpoint pair; resolving them through one dict hit keeps the
+        per-call cost off the hot path (the cache is invalidated with the
+        route cache on any topology change).
+        """
+        key = (src, dst)
+        hit = self._path_cache.get(key)
+        if hit is not None:
+            return hit
+        path = self.route(src, dst)
+        links = tuple(
+            self._links[frozenset((u, v))].key
+            for u, v in zip(path, path[1:])
+        )
+        # same accumulation order as summing along the path: parity with
+        # the uncached computation matters for bit-reproducible replays
+        latency = 0.0
+        for lk in links:
+            latency += self._links[lk].latency
+        entry = (links, latency)
+        self._path_cache[key] = entry
+        return entry
+
     def path_latency(self, src: str, dst: str) -> float:
         """One-way propagation latency along the current route."""
-        path = self.route(src, dst)
-        return sum(
-            self.link_between(u, v).latency for u, v in zip(path, path[1:])
-        )
+        if src == dst:
+            return 0.0
+        return self._resolve_path(src, dst)[1]
 
     def rpc_delay(self, src: str, dst: str) -> float:
         """Round-trip delay for a small request/response exchange."""
@@ -383,7 +438,7 @@ class Network:
             load = 0.0
             # sorted: float accumulation order must not depend on set order
             for fid in sorted(self._members.get(self._row_of[key], ())):
-                rate = self._flow_by_id[fid].rate
+                rate = self._flows[fid].rate
                 if 0 < rate < inf:
                     load += rate
             out[(link.a, link.b)] = min(1.0, load / link.bandwidth)
@@ -395,7 +450,7 @@ class Network:
     @property
     def active_flows(self) -> Tuple[Flow, ...]:
         """Currently in-flight transfers."""
-        return tuple(self._flows)
+        return tuple(self._flows.values())
 
     def transfer(
         self,
@@ -428,21 +483,17 @@ class Network:
             )
             return flow
 
-        path = self.route(src, dst)
-        links = tuple(
-            self.link_between(u, v).key for u, v in zip(path, path[1:])
-        )
+        links, prop_latency = self._resolve_path(src, dst)
         flow = Flow(src, dst, size, links, on_complete, on_fail, label,
                     weight=weight)
         flow.fid = next(self._fid_counter)
         flow.start_time = now
         flow.last_update = now
-        flow.prop_latency = self.path_latency(src, dst)
+        flow.prop_latency = prop_latency
         if self.tcp_window is not None:
             rtt = max(2.0 * flow.prop_latency, 1e-6)
             flow.rate_cap = self.tcp_window / rtt
-        self._flows.append(flow)
-        self._flow_by_id[flow.fid] = flow
+        self._flows[flow.fid] = flow
         self._admit(flow)
         if flow.rate_cap != float("inf") and self._quiet(flow):
             # every link keeps cap-sum headroom even with this flow at its
@@ -463,7 +514,7 @@ class Network:
         if flow._completion_event is not None:
             self.queue.cancel(flow._completion_event)
             flow._completion_event = None
-        if flow in self._flows:
+        if flow.fid in self._flows:
             quiet = self._quiet(flow)
             self._remove(flow)
             if quiet:
@@ -481,7 +532,7 @@ class Network:
         if flow.done or flow.failed or flow.paused:
             return
         flow.paused = True
-        if flow not in self._flows:
+        if flow.fid not in self._flows:
             return
         self._settle_flow(flow, self.queue.now)
         if flow.drained_at is not None:
@@ -505,7 +556,7 @@ class Network:
         if flow.done or flow.failed or not flow.paused:
             return
         flow.paused = False
-        if flow not in self._flows or flow.drained_at is not None:
+        if flow.fid not in self._flows or flow.drained_at is not None:
             return
         flow.last_update = self.queue.now  # no progress while paused
         self._admit(flow)
@@ -526,7 +577,7 @@ class Network:
         if flow.weight == weight:
             return
         flow.weight = weight
-        if flow in self._flows and not (flow.done or flow.failed):
+        if flow.fid in self._flows and not (flow.done or flow.failed):
             if self._quiet(flow):
                 # every member sits at its own window ceiling regardless of
                 # weight: nothing to re-rate
@@ -603,9 +654,8 @@ class Network:
 
     def _remove(self, flow: Flow) -> None:
         """Take a flow out of the admitted set entirely."""
-        self._flows.remove(flow)
+        del self._flows[flow.fid]
         self._expel(flow)
-        self._flow_by_id.pop(flow.fid, None)
 
     def _poke(self, rows: Iterable[int]) -> None:
         """Register a rebalance trigger for the given link rows.
@@ -647,7 +697,7 @@ class Network:
         # the component is closed (its flows touch only its links and vice
         # versa), so water-filling it in isolation matches a global pass
         members = self._members
-        flow_by_id = self._flow_by_id
+        flow_by_id = self._flows
         comp_rows: Set[int] = set()
         comp: List[Flow] = []
         seen: Set[int] = set()
@@ -675,6 +725,9 @@ class Network:
             return
         self.stats.recomputes += 1
         self.stats.component_flows += len(comp)
+        if self.rebalance_mode == "batched":
+            self._flush_batched(comp, now)
+            return
         # Settling is lazy: between rate changes the linear-drain invariant
         # keeps ``remaining`` exact as of ``last_update``, so only flows
         # that drained en route or whose rate is about to change need
@@ -707,6 +760,119 @@ class Network:
                     and abs(new - old) <= eps * max(abs(new), abs(old))):
                 continue
             self._reschedule(f, now)
+
+    def _flush_batched(self, comp: List[Flow], now: float) -> None:
+        """Array-dispatch flush over the whole coalesced flow set.
+
+        Every dirty component triggered at this timestamp arrives stacked
+        in ``comp``; drain detection, settling, the epsilon gate and the
+        completion ETAs all run as contiguous numpy operations, and only
+        flows that genuinely need a new completion event touch python
+        objects again.  Water-filling itself goes through the same
+        :meth:`_component_rates` dispatch as incremental mode.
+
+        Parity contract: each per-flow arithmetic expression below is the
+        same expression, evaluated in the same order, as the scalar path
+        in :meth:`flush` / :meth:`_settle_flow` / :meth:`_reschedule`, and
+        events are scheduled in the same flow order — so a batched run is
+        bit-identical to an incremental run (the determinism suite holds
+        this line).
+        """
+        self.stats.batched_flushes += 1
+        self.stats.batch_flows += len(comp)
+        n = len(comp)
+        rem = np.empty(n, dtype=float)
+        rate = np.empty(n, dtype=float)
+        lu = np.empty(n, dtype=float)
+        dead = np.empty(n, dtype=bool)
+        for i, f in enumerate(comp):
+            rem[i] = f.remaining
+            rate[i] = f.rate
+            lu[i] = f.last_update
+            dead[i] = f.drained_at is not None
+        # scalar path: rem -= rate * (now - last_update) when rate > 0
+        dead |= np.where(rate > 0.0, rem - rate * (now - lu), rem) <= 1e-9
+        if dead.any():
+            live: List[Flow] = []
+            for i, f in enumerate(comp):
+                if dead[i]:
+                    self._settle_flow(f, now)
+                    self._retire(f)
+                else:
+                    live.append(f)
+            alive = ~dead
+            rem = rem[alive]
+            rate = rate[alive]
+            lu = lu[alive]
+        else:
+            live = comp
+        rates = self._component_rates(live)
+        if not live:
+            return
+        m = len(live)
+        new = np.fromiter(
+            (rates.get(f.fid, 0.0) for f in live), dtype=float, count=m
+        )
+        old = rate
+        # vectorized _settle_flow at the *old* rate (live flows all have
+        # drained_at None — drained ones were retired above)
+        dt = now - lu
+        pos = rate > 0.0
+        t_drain = lu + rem / np.where(pos, rate, 1.0)
+        drained_now = (dt > 0.0) & pos & (t_drain <= now + 1e-12)
+        rem_settled = np.where(
+            dt > 0.0,
+            np.where(drained_now, 0.0,
+                     np.maximum(0.0, rem - rate * dt)),
+            rem,
+        )
+        changed = new != old
+        for i in np.flatnonzero(changed):
+            f = live[i]
+            if dt[i] > 0.0:
+                if drained_now[i]:
+                    f.drained_at = float(t_drain[i])
+                f.remaining = float(rem_settled[i])
+                f.last_update = now
+            f.rate = float(new[i])
+            self.stats.flows_rerated += 1
+            if f.on_rate_change is not None:
+                f.on_rate_change(f, float(old[i]))
+        # epsilon gate + completion ETAs as array ops; flows whose events
+        # survive the gate never touch python again this flush
+        has_event = np.fromiter(
+            (f._completion_event is not None for f in live),
+            dtype=bool, count=m,
+        )
+        eps = self.rate_epsilon
+        keep = has_event & (
+            np.abs(new - old) <= eps * np.maximum(np.abs(new), np.abs(old))
+        )
+        need = np.flatnonzero(~keep)
+        if not len(need):
+            return
+        # unchanged flows reschedule from their unsettled remaining, the
+        # same bytes the scalar _reschedule would read off the object
+        rem_final = np.where(changed & (dt > 0.0), rem_settled, rem)
+        ser = np.where(
+            np.isinf(new), 0.0,
+            rem_final / np.where(new > 0.0, new, 1.0),
+        )
+        eta = np.maximum(now + ser, now)
+        queue = self.queue
+        for i in need:
+            f = live[i]
+            if f._completion_event is not None:
+                queue.cancel(f._completion_event)
+                f._completion_event = None
+            if new[i] <= 0.0:
+                continue  # stalled; re-armed when a trigger frees bandwidth
+            f._completion_event = queue.schedule(
+                float(eta[i]),
+                lambda fl=f: self._drain_check(fl),
+                f"flow:{f.label}",
+            )
+            self.stats.events_rescheduled += 1
 
     def _settle_flow(self, f: Flow, now: float) -> None:
         """Drain one flow's progress up to ``now`` at its current rate."""
@@ -930,13 +1096,13 @@ class Network:
     # -- full recompute (reference + benchmark baseline) ------------------
     def _settle(self, now: float) -> None:
         """Drain every flow's progress up to ``now`` at its current rate."""
-        for f in self._flows:
+        for f in self._flows.values():
             self._settle_flow(f, now)
 
     def _maxmin_rates(self) -> Dict[int, float]:
         """Weighted max-min fair rate for every contending flow."""
         return self._rates_scalar(
-            f for f in self._flows
+            f for f in self._flows.values()
             if f.drained_at is None and not f.paused
         )
 
@@ -947,11 +1113,11 @@ class Network:
         self._settle(now)
         # retire any flow whose bytes drained since the last event; its
         # delivery is pinned at drained_at + propagation.
-        for f in [f for f in self._flows
+        for f in [f for f in self._flows.values()
                   if f.drained_at is not None or f.remaining <= 1e-9]:
             self._retire(f)
         rates = self._maxmin_rates()
-        for f in self._flows:
+        for f in list(self._flows.values()):
             old_rate = f.rate
             f.rate = rates.get(f.fid, 0.0)
             if f.on_rate_change is not None and f.rate != old_rate:
@@ -976,15 +1142,15 @@ class Network:
             return
         if self.rebalance_mode == "full":
             self._settle(self.queue.now)
-            if flow in self._flows and flow.remaining > 1e-6:
+            if flow.fid in self._flows and flow.remaining > 1e-6:
                 # rates changed since this event was scheduled; re-arm
                 self._rebalance_full()
                 return
-            if flow in self._flows:
+            if flow.fid in self._flows:
                 self._retire(flow)
                 self._rebalance_full()
             return
-        if flow not in self._flows:
+        if flow.fid not in self._flows:
             return
         now = self.queue.now
         self._settle_flow(flow, now)
@@ -1029,7 +1195,7 @@ class Network:
         if flow._completion_event is not None:
             self.queue.cancel(flow._completion_event)
             flow._completion_event = None
-        if flow in self._flows:
+        if flow.fid in self._flows:
             quiet = self._quiet(flow)
             self._remove(flow)
             if quiet:

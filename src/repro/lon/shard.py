@@ -1,0 +1,458 @@
+"""Sharded parallel simulation: one logical client fleet, many rigs.
+
+The multi-client harness (:mod:`repro.streaming.multiclient`) wires every
+client onto one shared fabric, which is the right model when clients
+contend for one WAN bottleneck — but it serializes the whole fleet through
+a single event queue.  At population scale the paper's premise flips:
+depot fleets are provisioned per site, and clients pinned to different
+depot groups never share a link.  This module exploits exactly that
+structure: the fleet is partitioned into **shards** (contiguous client
+blocks, each with its own LAN + WAN depot group, network, and event
+queue), shards run independently — in worker processes when requested —
+and their results merge deterministically.
+
+Because shards share no simulated state, the partition *is* the
+synchronization model: conservative time-window lockstep (workers advance
+their queues window by window behind a barrier, the
+:mod:`repro.render.parallel` fork/spawn pattern applied to simulation)
+bounds skew between workers without ever changing what fires when.  A
+windowed run fires the same events, in the same order, at the same times
+as a single ``run_until`` — so ``workers=N`` is bit-identical to
+``workers=1``, which is what the determinism suite checks
+(:func:`repro.analysis.determinism.sharded_fingerprint`).
+
+Merge semantics: per-client metrics concatenate in shard order (the
+contiguous partition preserves global client order); event/transfer
+fingerprint streams concatenate the same way; counters sum; wall-clock is
+the slowest shard (parallel makespan) with per-shard times retained for
+the events/s-per-core curve in ``BENCH_scale.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..lightfield.source import ViewSetSource
+from ..streaming.metrics import SessionMetrics
+from ..streaming.multiclient import (
+    MultiClientConfig,
+    build_multiclient_rig,
+)
+
+__all__ = [
+    "ShardResult",
+    "ShardedResult",
+    "partition_clients",
+    "run_shard",
+    "run_sharded_session",
+]
+
+#: default conservative sync window (simulated seconds).  Shards share no
+#: state, so the window only bounds worker skew; one cursor step period is
+#: a natural granule.
+DEFAULT_WINDOW = 30.0
+
+#: seconds a worker will wait at the window barrier before declaring the
+#: fleet broken (a sibling died mid-window)
+BARRIER_TIMEOUT = 600.0
+
+# typing alias for the picklable per-shard stream records
+EventRecord = Tuple[str, int, str]
+TransferRecord = Tuple[str, str, str, str, str]
+
+
+def partition_clients(
+    n_clients: int, n_shards: int
+) -> List[Tuple[int, int]]:
+    """Split ``n_clients`` into ``n_shards`` contiguous ``(start, count)``
+    blocks.
+
+    Contiguity keeps merged per-client order equal to global client order;
+    the first ``n_clients % n_shards`` shards take one extra client.  Empty
+    shards are never produced: with more shards than clients the tail
+    shards are dropped.
+    """
+    if n_clients < 1:
+        raise ValueError("n_clients must be >= 1")
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    n_shards = min(n_shards, n_clients)
+    base, extra = divmod(n_clients, n_shards)
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    for s in range(n_shards):
+        count = base + (1 if s < extra else 0)
+        blocks.append((start, count))
+        start += count
+    return blocks
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard reports back (plain picklable data)."""
+
+    shard_id: int
+    n_clients: int
+    client_index_base: int
+    wall_seconds: float
+    events_fired: int
+    sim_seconds: float
+    rebalance: Dict[str, int]
+    queue_compactions: int
+    deduped_transfers: int
+    promoted_transfers: int
+    #: per-client metrics with tracer/obs handles stripped (cross-process)
+    per_client: List[SessionMetrics] = field(default_factory=list)
+    #: (time.hex(), seq, label) per fired event — only when collected
+    events: Optional[List[EventRecord]] = None
+    #: transfer lifecycle records — only when collected
+    transfers: Optional[List[TransferRecord]] = None
+
+
+@dataclass
+class ShardedResult:
+    """Deterministic merge of every shard's result."""
+
+    shards: List[ShardResult]
+    workers: int
+    window: float
+
+    @property
+    def events_fired(self) -> int:
+        """Total events fired across the fleet."""
+        return sum(s.events_fired for s in self.shards)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Parallel makespan: the slowest shard's simulation loop."""
+        return max(s.wall_seconds for s in self.shards)
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total single-core work across shards (the per-core curve input)."""
+        return sum(s.wall_seconds for s in self.shards)
+
+    @property
+    def sim_seconds(self) -> float:
+        """Simulated horizon reached (max across shards)."""
+        return max(s.sim_seconds for s in self.shards)
+
+    @property
+    def events_per_second(self) -> float:
+        """Fleet events/s against the parallel makespan."""
+        wall = self.wall_seconds
+        return self.events_fired / wall if wall else 0.0
+
+    @property
+    def per_client(self) -> List[SessionMetrics]:
+        """Per-client metrics in global client order."""
+        return [m for s in self.shards for m in s.per_client]
+
+    def rebalance_totals(self) -> Dict[str, int]:
+        """Key-wise sum of every shard's rebalance counters."""
+        out: Dict[str, int] = {}
+        for s in self.shards:
+            for k, v in s.rebalance.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+    def merged_events(self) -> List[EventRecord]:
+        """Event streams concatenated in shard order (fingerprint input)."""
+        out: List[EventRecord] = []
+        for s in self.shards:
+            if s.events is None:
+                raise ValueError(
+                    f"shard {s.shard_id} did not collect event streams"
+                )
+            out.extend(s.events)
+        return out
+
+    def merged_transfers(self) -> List[TransferRecord]:
+        """Transfer streams concatenated in shard order."""
+        out: List[TransferRecord] = []
+        for s in self.shards:
+            if s.transfers is None:
+                raise ValueError(
+                    f"shard {s.shard_id} did not collect transfer streams"
+                )
+            out.extend(s.transfers)
+        return out
+
+    def aggregate(self) -> Dict[str, object]:
+        """Fleet-level summary in the MultiClientResult.aggregate() shape."""
+        accesses = [a for m in self.per_client for a in m.accesses]
+        n = len(accesses)
+        mean_latency = (
+            sum(a.total_latency for a in accesses) / n if n else 0.0
+        )
+        out: Dict[str, object] = {
+            "n_clients": sum(s.n_clients for s in self.shards),
+            "accesses": n,
+            "mean_latency": round(mean_latency, 4),
+            "n_shards": len(self.shards),
+            "workers": self.workers,
+            "events_fired": self.events_fired,
+            "events_per_second": round(self.events_per_second, 1),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "cpu_seconds": round(self.cpu_seconds, 3),
+            "sim_seconds": round(self.sim_seconds, 2),
+            "queue_compactions": sum(
+                s.queue_compactions for s in self.shards
+            ),
+            "deduped_transfers": sum(
+                s.deduped_transfers for s in self.shards
+            ),
+            "promoted_transfers": sum(
+                s.promoted_transfers for s in self.shards
+            ),
+        }
+        for k, v in self.rebalance_totals().items():
+            out[f"rebalance_{k}"] = v
+        return out
+
+
+def _global_horizon(
+    source: ViewSetSource,
+    config: MultiClientConfig,
+    settle_seconds: float,
+) -> float:
+    """The fleet-wide simulated stop time.
+
+    Every barrier-synchronized worker must walk the same window sequence,
+    so the horizon is derived from *all* clients' traces (regenerated
+    here — trace synthesis is deterministic and cheap), not each shard's
+    local subset.
+    """
+    from ..streaming.trace import standard_trace
+
+    base = config.base
+    longest = 0.0
+    for i in range(config.n_clients):
+        g = config.client_index_base + i
+        trace = standard_trace(
+            source.lattice,
+            n_accesses=base.n_accesses,
+            step_period=base.step_period,
+            seed=base.trace_seed + g * config.seed_stride,
+            heading_noise=base.heading_noise,
+        ).shifted(g * config.start_stagger)
+        longest = max(longest, trace.duration)
+    return longest + settle_seconds
+
+
+def _shard_config(
+    config: MultiClientConfig, start: int, count: int
+) -> MultiClientConfig:
+    """The sub-fleet config for one shard (global identity preserved)."""
+    return replace(
+        config,
+        n_clients=count,
+        client_index_base=config.client_index_base + start,
+    )
+
+
+def run_shard(
+    source: ViewSetSource,
+    config: MultiClientConfig,
+    shard_id: int = 0,
+    settle_seconds: float = 60.0,
+    window: float = DEFAULT_WINDOW,
+    collect_streams: bool = False,
+    barrier: Optional[Any] = None,
+    horizon: Optional[float] = None,
+) -> ShardResult:
+    """Run one shard's rig to completion, window by window.
+
+    ``barrier`` (a ``multiprocessing.Barrier``) makes parallel workers
+    advance in conservative lockstep; ``None`` runs the same windows
+    without waiting.  Either way the event stream is identical to a
+    single ``run_until`` over the whole horizon — intermediate horizons
+    only bound how far ahead of its siblings a shard may run.
+
+    ``horizon`` is the simulated stop time *shared by the whole fleet*:
+    barrier-synchronized workers must all walk the same window sequence,
+    so :func:`run_sharded_session` computes one global horizon and hands
+    it to every shard.  ``None`` (standalone use) derives it from this
+    shard's own traces.
+    """
+    from ..analysis.determinism import _attach_collectors
+
+    rig = build_multiclient_rig(source, config)
+    # synthesize (and cache) every payload up front: dataset generation is
+    # not simulation work and must not pollute the wall-time measurement
+    for key in source.lattice.all_viewsets():
+        source.payload(key)
+    events: List[EventRecord] = []
+    transfers: List[TransferRecord] = []
+    if collect_streams:
+        _attach_collectors(rig.queue, rig.scheduler, events, transfers)
+    for staging in rig.stagings:
+        staging.start()
+    for sampler in rig.samplers:
+        sampler.start()
+    for client, trace in zip(rig.clients, rig.traces):
+        client.schedule_trace(trace)
+    if horizon is None:
+        horizon = max(t.duration for t in rig.traces) + settle_seconds
+    if window <= 0:
+        raise ValueError("window must be positive")
+    # measuring how fast the *simulator* runs, not simulated time
+    t0 = time.perf_counter()  # repro: allow[SIM001]
+    t = 0.0
+    while t < horizon:
+        t = min(t + window, horizon)
+        rig.queue.run_until(t, max_events=200_000_000)
+        if barrier is not None:
+            barrier.wait(BARRIER_TIMEOUT)
+    for staging in rig.stagings:
+        staging.stop()
+    for sampler in rig.samplers:
+        sampler.stop()
+    rig.queue.run_until(horizon + settle_seconds, max_events=200_000_000)
+    wall = time.perf_counter() - t0  # repro: allow[SIM001]
+    if rig.tracer is not None:
+        rig.tracer.finish_open()
+    for m, agent, staging in zip(
+        rig.metrics, rig.client_agents,
+        rig.stagings if rig.stagings else [None] * len(rig.metrics),
+    ):
+        m.prefetch_used = agent.stats.prefetch_hits
+        if staging is not None:
+            m.staged_count = staging.stats.staged
+            m.staged_bytes = staging.stats.bytes_staged
+        # strip live handles: metrics must cross the process boundary
+        m.tracer = None
+        m.obs = None
+    stats = rig.network.stats
+    return ShardResult(
+        shard_id=shard_id,
+        n_clients=config.n_clients,
+        client_index_base=config.client_index_base,
+        wall_seconds=wall,
+        events_fired=rig.queue.fired_total,
+        sim_seconds=rig.queue.now,
+        rebalance={
+            "recomputes": stats.recomputes,
+            "full_recomputes": stats.full_recomputes,
+            "coalesced": stats.coalesced,
+            "component_flows": stats.component_flows,
+            "flows_rerated": stats.flows_rerated,
+            "events_rescheduled": stats.events_rescheduled,
+            "vectorized": stats.vectorized,
+            "all_capped": stats.all_capped,
+            "fast_rated": stats.fast_rated,
+            "batched_flushes": stats.batched_flushes,
+            "batch_flows": stats.batch_flows,
+        },
+        queue_compactions=rig.queue.compactions,
+        deduped_transfers=rig.scheduler.registry.stats.deduped,
+        promoted_transfers=rig.scheduler.registry.stats.promoted,
+        per_client=list(rig.metrics),
+        events=events if collect_streams else None,
+        transfers=transfers if collect_streams else None,
+    )
+
+
+def _worker(
+    source: ViewSetSource,
+    config: MultiClientConfig,
+    shard_id: int,
+    settle_seconds: float,
+    window: float,
+    collect_streams: bool,
+    barrier: Any,
+    horizon: float,
+    out: Any,
+) -> None:
+    """Worker-process entry point: run one shard, ship the result back."""
+    try:
+        result = run_shard(
+            source, config, shard_id,
+            settle_seconds=settle_seconds, window=window,
+            collect_streams=collect_streams, barrier=barrier,
+            horizon=horizon,
+        )
+        out.put((shard_id, result, None))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        out.put((shard_id, None, repr(exc)))
+
+
+def run_sharded_session(
+    source: ViewSetSource,
+    config: MultiClientConfig,
+    n_shards: int,
+    workers: Optional[int] = None,
+    settle_seconds: float = 60.0,
+    window: float = DEFAULT_WINDOW,
+    collect_streams: bool = False,
+    start_method: Optional[str] = None,
+) -> ShardedResult:
+    """Partition the fleet into ``n_shards`` rigs and run them all.
+
+    ``workers=1`` runs every shard sequentially in this process —
+    the reference execution the parallel path must match bit-for-bit.
+    ``workers=None`` uses one process per shard.  ``start_method``
+    prefers ``fork`` (rig state inherited copy-on-write) and falls back
+    to ``spawn`` where fork is unavailable.
+    """
+    blocks = partition_clients(config.n_clients, n_shards)
+    if workers is None:
+        workers = len(blocks)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    workers = min(workers, len(blocks))
+    horizon = _global_horizon(source, config, settle_seconds)
+
+    if workers == 1 or len(blocks) == 1:
+        shards = [
+            run_shard(
+                source, _shard_config(config, start, count), shard_id,
+                settle_seconds=settle_seconds, window=window,
+                collect_streams=collect_streams, horizon=horizon,
+            )
+            for shard_id, (start, count) in enumerate(blocks)
+        ]
+        return ShardedResult(shards=shards, workers=1, window=window)
+
+    available = mp.get_all_start_methods()
+    if start_method is not None and start_method not in available:
+        raise ValueError(
+            f"start method {start_method!r} unavailable; "
+            f"choose from {available}"
+        )
+    method = start_method or ("fork" if "fork" in available else "spawn")
+    ctx = mp.get_context(method)
+    # one process per shard; the barrier holds every worker to the same
+    # window so no shard runs unboundedly ahead of its siblings
+    barrier = ctx.Barrier(len(blocks))
+    out = ctx.Queue()
+    procs: List[Any] = []
+    for shard_id, (start, count) in enumerate(blocks):
+        p = ctx.Process(
+            target=_worker,
+            args=(
+                source, _shard_config(config, start, count), shard_id,
+                settle_seconds, window, collect_streams, barrier,
+                horizon, out,
+            ),
+            name=f"shard-{shard_id}",
+        )
+        p.start()
+        procs.append(p)
+    results: Dict[int, ShardResult] = {}
+    error: Optional[str] = None
+    for _ in procs:
+        shard_id, result, err = out.get()
+        if err is not None:
+            error = error or f"shard {shard_id} failed: {err}"
+        else:
+            results[shard_id] = result
+    for p in procs:
+        p.join()
+    if error is not None:
+        raise RuntimeError(error)
+    shards = [results[i] for i in range(len(blocks))]
+    return ShardedResult(shards=shards, workers=workers, window=window)

@@ -64,6 +64,12 @@ class Event:
     are skipped when popped (lazy deletion), which keeps cancellation O(1).
     ``__slots__`` matters at scale: rebalancing and scheduler retargeting
     churn through millions of events per multi-client session.
+
+    The queue's heap stores ``(time, seq, event)`` triples rather than bare
+    events, so sift comparisons resolve on the C-level float/int pair and
+    never call back into this class's generated ``__lt__`` — at hundreds of
+    thousands of events per session those interpreter re-entries were one
+    of the hottest lines in the whole simulator.
     """
 
     time: float
@@ -144,7 +150,9 @@ class EventQueue:
         self.clock = clock if clock is not None else SimClock()
         self.compact_threshold = compact_threshold
         self.compact_min = compact_min
-        self._heap: list[Event] = []
+        # (time, seq, event) triples: heap sift orders on the C float/int
+        # pair without re-entering python (see Event docstring)
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._live = 0  # number of non-cancelled events in the heap
         self._garbage = 0  # cancelled events still sitting in the heap
@@ -167,15 +175,19 @@ class EventQueue:
         self, time: float, callback: Callable[[], None], label: str = ""
     ) -> Event:
         """Schedule ``callback`` at absolute simulation time ``time``."""
-        if math.isnan(time) or math.isinf(time):
+        if not math.isfinite(time):
             raise SimulationError(f"event time must be finite, got {time!r}")
-        if time < self.clock.now - 1e-12:
-            raise SimulationError(
-                f"cannot schedule into the past: now={self.clock.now}, t={time}"
-            )
-        ev = Event(time=max(time, self.clock.now), seq=next(self._seq),
+        now = self.clock.now
+        if time < now:
+            if time < now - 1e-12:
+                raise SimulationError(
+                    f"cannot schedule into the past: now={now}, t={time}"
+                )
+            time = now
+        seq = next(self._seq)
+        ev = Event(time=time, seq=seq,
                    callback=callback, label=label, queue=self)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
 
@@ -200,7 +212,7 @@ class EventQueue:
         if (len(self._heap) >= self.compact_min
                 and self._garbage >= self.compact_threshold
                 * len(self._heap)):
-            self._heap = [ev for ev in self._heap if not ev.cancelled]
+            self._heap = [e for e in self._heap if not e[2].cancelled]
             heapq.heapify(self._heap)
             self._garbage = 0
             self.compactions += 1
@@ -208,27 +220,36 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
         self._drop_cancelled_head()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def _drop_cancelled_head(self) -> None:
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
             self._garbage -= 1
 
     def step(self) -> bool:
         """Fire the next event.  Returns False if the queue was empty."""
-        self._drop_cancelled_head()
-        if not self._heap:
-            return False
-        ev = heapq.heappop(self._heap)
-        self._live -= 1
-        ev.fired = True
-        self.fired_total += 1
-        self.clock._advance_to(ev.time)
-        if self.on_fire is not None:
-            self.on_fire(ev)
-        ev.callback()
-        return True
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            ev = entry[2]
+            if ev.cancelled:
+                self._garbage -= 1
+                continue
+            self._live -= 1
+            ev.fired = True
+            self.fired_total += 1
+            # heap order guarantees monotonic time (schedule() rejects the
+            # past), so the clock can be bumped without the backwards check
+            clock = self.clock
+            t = entry[0]
+            if t > clock._now:
+                clock._now = t
+            if self.on_fire is not None:
+                self.on_fire(ev)
+            ev.callback()
+            return True
+        return False
 
     def run(self, max_events: int = 10_000_000) -> int:
         """Run until the queue drains.  Returns the number of events fired."""
@@ -245,11 +266,19 @@ class EventQueue:
     def run_until(self, horizon: float, max_events: int = 10_000_000) -> int:
         """Run events with time <= horizon, then advance the clock to it."""
         fired = 0
+        step = self.step
         while fired < max_events:
-            t = self.peek_time()
-            if t is None or t > horizon:
+            # re-read the heap each iteration: a callback fired by step()
+            # can cancel events and trigger a compaction, which rebinds
+            # self._heap — a cached alias would go stale and this loop
+            # would spin on (and mis-drop from) the pre-compaction list
+            heap = self._heap
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+                self._garbage -= 1
+            if not heap or heap[0][0] > horizon:
                 break
-            self.step()
+            step()
             fired += 1
         if fired >= max_events:
             raise SimulationError("event budget exhausted in run_until")

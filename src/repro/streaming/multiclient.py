@@ -73,10 +73,18 @@ class MultiClientConfig:
     seed_stride: int = 101
     #: per-client start delay in seconds
     start_stagger: float = 1.0
+    #: global index of this rig's first client.  Sharded runs
+    #: (:mod:`repro.lon.shard`) partition one logical fleet across
+    #: several rigs; offsetting names, trace seeds and start stagger
+    #: by the global index keeps every client's identity and timing
+    #: identical to its single-rig incarnation.
+    client_index_base: int = 0
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
             raise ValueError("n_clients must be >= 1")
+        if self.client_index_base < 0:
+            raise ValueError("client_index_base must be non-negative")
         if self.start_stagger < 0:
             raise ValueError("start_stagger must be non-negative")
 
@@ -168,12 +176,15 @@ def build_multiclient_rig(
     base = config.base
     queue = EventQueue()
     net = Network(queue, tcp_window=base.tcp_window,
-                  rebalance=base.network_rebalance)
+                  rebalance=base.network_rebalance,
+                  vectorize_threshold=base.network_vectorize_threshold)
 
     # --- shared topology --------------------------------------------------
+    base_idx = config.client_index_base
     lan_hosts = [f"lan-depot-{i}" for i in range(base.n_lan_depots)]
     for i in range(config.n_clients):
-        lan_hosts += [f"client-{i}", f"agent-{i}"]
+        g = base_idx + i
+        lan_hosts += [f"client-{g}", f"agent-{g}"]
     net.add_node("lan-switch")
     for h in lan_hosts:
         net.add_link(h, "lan-switch", base.lan_bandwidth, base.lan_latency)
@@ -232,8 +243,9 @@ def build_multiclient_rig(
     traces: List[CursorTrace] = []
     policy_name = base.prefetch_policy
     for i in range(config.n_clients):
+        g = base_idx + i
         m = SessionMetrics(
-            case_name=f"case{base.case}-client{i}",
+            case_name=f"case{base.case}-client{g}",
             resolution=source.resolution,
             scheduling_policy=base.scheduling_policy,
         )
@@ -241,7 +253,7 @@ def build_multiclient_rig(
             m.tracer = tracer
             m.obs = obs
         agent = ClientAgent(
-            node=f"agent-{i}",
+            node=f"agent-{g}",
             queue=queue,
             network=net,
             lors=lors,
@@ -261,7 +273,7 @@ def build_multiclient_rig(
                 lors=lors,
                 dvs=dvs,
                 agent=agent,
-                lan_depot=lan_depots[i % len(lan_depots)],
+                lan_depot=lan_depots[g % len(lan_depots)],
                 lattice=source.lattice,
                 max_concurrent=base.staging_concurrency,
                 streams_per_copy=base.staging_streams,
@@ -271,7 +283,7 @@ def build_multiclient_rig(
             )
             stagings.append(staging)
         client = Client(
-            node=f"client-{i}",
+            node=f"client-{g}",
             queue=queue,
             network=net,
             agent=agent,
@@ -289,9 +301,9 @@ def build_multiclient_rig(
             source.lattice,
             n_accesses=base.n_accesses,
             step_period=base.step_period,
-            seed=base.trace_seed + i * config.seed_stride,
+            seed=base.trace_seed + g * config.seed_stride,
             heading_noise=base.heading_noise,
-        ).shifted(i * config.start_stagger)
+        ).shifted(g * config.start_stagger)
         clients.append(client)
         agents.append(agent)
         metrics.append(m)
@@ -393,6 +405,8 @@ def run_multiclient_session(
             "vectorized": stats.vectorized,
             "all_capped": stats.all_capped,
             "fast_rated": stats.fast_rated,
+            "batched_flushes": stats.batched_flushes,
+            "batch_flows": stats.batch_flows,
         },
         queue_compactions=rig.queue.compactions,
         deduped_transfers=rig.scheduler.registry.stats.deduped,

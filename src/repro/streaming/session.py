@@ -121,8 +121,12 @@ class SessionConfig:
     sample_period: float = 0.5
     #: flow re-rating strategy (see repro.lon.network): "incremental"
     #: recomputes only the affected link/flow component per change;
+    #: "batched" adds the array-dispatch flush on top of incremental;
     #: "full" is the O(flows × links) reference recompute
     network_rebalance: str = "incremental"
+    #: component size (flows) at which a water-fill takes the numpy path
+    #: instead of the scalar loop (forwarded to Network)
+    network_vectorize_threshold: int = 24
 
     def __post_init__(self) -> None:
         if self.case not in (1, 2, 3):
@@ -135,6 +139,8 @@ class SessionConfig:
             raise ValueError(
                 f"network_rebalance must be one of {REBALANCE_MODES}"
             )
+        if self.network_vectorize_threshold < 2:
+            raise ValueError("network_vectorize_threshold must be >= 2")
 
 
 @dataclass
@@ -164,7 +170,8 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
     """Wire every component for the configured case (no events run yet)."""
     queue = EventQueue()
     net = Network(queue, tcp_window=config.tcp_window,
-                  rebalance=config.network_rebalance)
+                  rebalance=config.network_rebalance,
+                  vectorize_threshold=config.network_vectorize_threshold)
 
     # --- topology -----------------------------------------------------
     lan_hosts = ["client", "agent"] + [

@@ -265,9 +265,10 @@ class TestFairnessProperties:
     @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
     @settings(max_examples=20, deadline=None)
     def test_incremental_matches_full_water_filling(self, seed):
-        """Incremental rebalancing allocates rates identical (1e-9) to the
-        full-recompute reference under the same randomized op sequence, and
-        delivers the same completions at the same times."""
+        """All three rebalance modes allocate identical rates (1e-9) under
+        the same randomized op sequence and deliver the same completions at
+        the same times; the batched array flush is *bit*-equal to the
+        incremental path it re-dispatches."""
         results = {}
         for mode in REBALANCE_MODES:
             rng = np.random.default_rng(seed)
@@ -279,25 +280,40 @@ class TestFairnessProperties:
                 (f.label, f.paused, round(f.rate, 6))
                 for f in net.active_flows
             ]
+            exact = [
+                (f.label, f.paused, f.rate.hex())
+                for f in net.active_flows
+            ]
             q.run()
             results[mode] = {
                 "snapshot": snapshot,
+                "exact": exact,
                 "finish": [
                     (f.size, f.weight, None if f.finish_time is None
                      else round(f.finish_time, 6))
                     for f in flows
                 ],
+                "finish_exact": [
+                    (f.size, f.weight, None if f.finish_time is None
+                     else f.finish_time.hex())
+                    for f in flows
+                ],
             }
-        inc, full = results["incremental"], results["full"]
-        # mid-run rate allocations identical within 1e-9 relative
-        assert len(inc["snapshot"]) == len(full["snapshot"])
-        for (l1, p1, r1), (l2, p2, r2) in zip(
-            sorted(inc["snapshot"]), sorted(full["snapshot"])
-        ):
-            assert (l1, p1) == (l2, p2)
-            assert abs(r1 - r2) <= 1e-9 * max(abs(r1), abs(r2), 1.0)
-        # end-to-end deliveries land at the same simulated instants
-        assert inc["finish"] == full["finish"]
+        inc, bat, full = (results["incremental"], results["batched"],
+                          results["full"])
+        # batched reuses the incremental dispatch, so it must be bit-equal
+        assert bat["exact"] == inc["exact"]
+        assert bat["finish_exact"] == inc["finish_exact"]
+        # incremental vs full: rate allocations identical within 1e-9
+        # relative, deliveries at the same (rounded) simulated instants
+        for other in (inc, bat):
+            assert len(other["snapshot"]) == len(full["snapshot"])
+            for (l1, p1, r1), (l2, p2, r2) in zip(
+                sorted(other["snapshot"]), sorted(full["snapshot"])
+            ):
+                assert (l1, p1) == (l2, p2)
+                assert abs(r1 - r2) <= 1e-9 * max(abs(r1), abs(r2), 1.0)
+            assert other["finish"] == full["finish"]
 
     @given(
         seed=st.integers(min_value=0, max_value=2**31),
