@@ -32,8 +32,9 @@ def test_text_fps(benchmark, fps_rows, report):
     table = format_table(
         headers=["res", "mode", "ms/frame", "fps", ">=30fps"],
         rows=[
-            [r["resolution"], r["mode"], r["ms_per_frame"], r["fps"],
-             "yes" if r["meets_30fps"] else "no"]
+            [r["resolution"], r["mode"], r["wall_clock"]["ms_per_frame"],
+             r["wall_clock"]["fps"],
+             "yes" if r["wall_clock"]["meets_30fps"] else "no"]
             for r in fps_rows
         ],
         title="Section 4.2 — client synthesis rate (paper claims >30 fps)",
@@ -41,21 +42,23 @@ def test_text_fps(benchmark, fps_rows, report):
     report("text_fps", table)
 
     # scaling shape: frame cost grows with display resolution for a fixed
-    # mode, and cheaper interpolation is faster
+    # mode, and cheaper interpolation is faster (all host timings live
+    # under the quarantined wall_clock section of each row)
     by_mode = {}
     for r in fps_rows:
         by_mode.setdefault(r["mode"], []).append(r)
     for _mode, rows in by_mode.items():
         rows.sort(key=lambda r: r["resolution"])
-        assert rows[-1]["ms_per_frame"] > rows[0]["ms_per_frame"]
+        assert (rows[-1]["wall_clock"]["ms_per_frame"]
+                > rows[0]["wall_clock"]["ms_per_frame"])
     fastest_at_top = {
-        r["mode"]: r["fps"] for r in fps_rows
+        r["mode"]: r["wall_clock"]["fps"] for r in fps_rows
         if r["resolution"] == RESOLUTIONS[-1]
     }
     assert fastest_at_top["nearest"] >= fastest_at_top["quadrilinear"]
     # the 30 fps claim must reproduce at the lowest (PDA-class) resolution
     low = [r for r in fps_rows if r["resolution"] == RESOLUTIONS[0]]
-    assert any(r["meets_30fps"] for r in low)
+    assert any(r["wall_clock"]["meets_30fps"] for r in low)
 
     # representative kernel: one synthesized frame at the lowest resolution
     res = RESOLUTIONS[0]

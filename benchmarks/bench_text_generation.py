@@ -5,18 +5,23 @@ and compressed view sets run 1.2 MB (200²) to 7.8 MB (600²).  We time real
 view-set generation, extrapolate to 288 view sets / 32 workers, and check
 the measured per-view-set sizes against the quoted band.
 
-``test_generation_acceleration`` additionally measures the macrocell
-empty-space-skipping kernel against the brute-force marcher and emits the
-machine-readable ``BENCH_generation.json`` artifact at the repo root.
+``test_generation_acceleration`` executes the builtin ``generation`` sweep
+spec (macrocell kernel vs brute marcher, the zlib level sweep, and the
+per-view-set timing) through the sweep engine, which merges the runs into
+``BENCH_generation.json`` at the repo root.
 """
 
 import os
-import time
 
-import numpy as np
 import pytest
 
-from repro.experiments import PAPER, format_table, text_generation_time
+from repro.experiments import (
+    PAPER,
+    format_table,
+    run_sweep,
+    spec_named,
+    text_generation_time,
+)
 
 _SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
 RESOLUTION = 64 if _SMALL else 200
@@ -30,14 +35,15 @@ def gen_stats():
 
 
 def test_text_generation(benchmark, gen_stats, report):
+    wall = gen_stats["wall_clock"]
     table = format_table(
         headers=["metric", "measured", "paper"],
         rows=[
             ["resolution", gen_stats["resolution"], "200-600"],
             ["s per view set (1 worker)",
-             gen_stats["seconds_per_viewset"], "-"],
+             wall["seconds_per_viewset"], "-"],
             ["full DB hours (32 cpu)",
-             gen_stats["full_db_hours_on_32cpu"],
+             wall["full_db_hours_on_32cpu"],
              f"{PAPER.generation_hours_band[0]}-"
              f"{PAPER.generation_hours_band[1]}"],
             ["compression ratio", gen_stats["compression_ratio"],
@@ -47,13 +53,13 @@ def test_text_generation(benchmark, gen_stats, report):
     )
     report("text_generation", table)
 
-    assert gen_stats["seconds_per_viewset"] > 0
+    assert wall["seconds_per_viewset"] > 0
     assert gen_stats["compression_ratio"] > 2.0
     # our numpy generator extrapolates to within a couple orders of
     # magnitude of the paper's 32-CPU cluster; the lower edge accounts for
     # macrocell empty-space skipping, which the paper's generator lacked
     if not _SMALL:
-        assert 0.005 < gen_stats["full_db_hours_on_32cpu"] < 50
+        assert 0.005 < wall["full_db_hours_on_32cpu"] < 50
 
     # representative kernel: rendering one sample view
     from repro.lightfield import CameraLattice, LightFieldBuilder
@@ -70,104 +76,43 @@ def test_text_generation(benchmark, gen_stats, report):
     assert frame.shape == (RESOLUTION, RESOLUTION, 3)
 
 
-def test_generation_acceleration(report, bench_json, gen_stats):
+def test_generation_acceleration(report):
     """Brute vs macrocell-accelerated generator kernel on the negHip scene.
 
-    Emits BENCH_generation.json: wall-clock per sample view, marched steps
-    per ray before/after, empty-macrocell fraction, speedup, and the zlib
-    speed/ratio sweep for the compression half of generation.
+    Runs the builtin ``generation`` sweep: wall-clock per sample view,
+    marched steps per ray before/after, empty-macrocell fraction, speedup,
+    the zlib speed/ratio sweep, and the per-view-set generation timing —
+    merged by the engine into BENCH_generation.json.
     """
-    from dataclasses import replace
+    result = run_sweep(spec_named("generation"), workers=1)
+    doc = result.doc
+    wall = doc["wall_clock"]
+    print(f"wrote {result.artifact_path}")
 
-    from repro.lightfield import CameraLattice, LightFieldBuilder
-    from repro.lightfield.compression import ZlibCodec
-    from repro.render.camera import orbit_camera
-    from repro.render.raycast import RaycastRenderer, RenderSettings
-    from repro.volume import neg_hip, preset
-
-    size = 32 if _SMALL else 64
-    vol = neg_hip(size=size)
-    tf = preset("neghip")
-    settings = RenderSettings()  # accelerated=True, macrocell_size=4
-    accel = RaycastRenderer(vol, tf, settings)
-    brute = RaycastRenderer(vol, tf, replace(settings, accelerated=False))
-    cells = accel.prepare()
-    empty_fraction = 1.0 - cells.active_fraction
-
-    cams = [
-        orbit_camera(theta, phi, radius=3.0 * vol.bounding_radius,
-                     resolution=RESOLUTION)
-        for theta, phi in ((1.2, 0.6), (1.9, 2.4), (0.8, 4.1))
-    ]
-
-    def run(renderer):
-        """Best-of-3 total wall seconds over the camera set + step stats."""
-        best, steps = float("inf"), 0
-        for _ in range(3):
-            t0 = time.perf_counter()
-            frames, steps, rays = [], 0, 0
-            for cam in cams:
-                frames.append(renderer.render(cam))
-                steps += renderer.last_render_stats.steps
-                rays += renderer.last_render_stats.rays
-            best = min(best, time.perf_counter() - t0)
-        return best, steps / rays, frames
-
-    brute_s, brute_spr, brute_frames = run(brute)
-    accel_s, accel_spr, accel_frames = run(accel)
-    err = max(
-        float(np.abs(a - b).max())
-        for a, b in zip(accel_frames, brute_frames)
-    )
-    speedup = brute_s / accel_s
-
-    lat = CameraLattice(n_theta=12, n_phi=24, l=3)
-    builder = LightFieldBuilder(
-        vol, tf, lat, resolution=RESOLUTION, workers=1, settings=settings,
-    )
-    vs = builder.render_viewset((2, 3))
-    levels = []
-    level_walls = {}
-    for level in (1, 6, 9):
-        result = ZlibCodec(level=level).compress(vs)
-        levels.append({
-            "level": result.level,
-            "ratio": round(result.ratio, 3),
-        })
-        level_walls[str(result.level)] = round(result.compress_seconds, 4)
-
-    payload = {
-        "scene": f"neghip-{size}^3",
-        "resolution": RESOLUTION,
-        "macrocell_size": settings.macrocell_size,
-        "empty_cell_fraction": round(empty_fraction, 4),
-        "views_timed": len(cams),
-        "brute": {"steps_per_ray": round(brute_spr, 2)},
-        "accelerated": {"steps_per_ray": round(accel_spr, 2)},
-        "max_abs_error": err,
-        "zlib_levels": levels,
-    }
-    bench_json("generation", payload, wall_clock={
-        "brute_seconds_per_view": round(brute_s / len(cams), 4),
-        "accelerated_seconds_per_view": round(accel_s / len(cams), 4),
-        "speedup": round(speedup, 3),
-        "seconds_per_viewset": round(gen_stats["seconds_per_viewset"], 3),
-        "zlib_compress_s": level_walls,
-    })
     report("generation_acceleration", format_table(
         headers=["metric", "brute", "accelerated"],
         rows=[
-            ["s / view", brute_s / len(cams), accel_s / len(cams)],
-            ["steps / ray", brute_spr, accel_spr],
-            ["speedup", 1.0, speedup],
-            ["max |err|", 0.0, err],
+            ["s / view", wall["brute_seconds_per_view"],
+             wall["accelerated_seconds_per_view"]],
+            ["steps / ray", doc["brute"]["steps_per_ray"],
+             doc["accelerated"]["steps_per_ray"]],
+            ["speedup", 1.0, wall["speedup"]],
+            ["max |err|", 0.0, doc["max_abs_error"]],
         ],
         title="Generator kernel — macrocell empty-space skipping",
     ))
 
     # the macrocell classification must be effective on this scene and the
     # skipping lossless (ISSUE tolerance: 1e-3; in practice it is exact)
-    assert empty_fraction >= 0.5
-    assert err <= 1e-3
-    assert accel_spr < brute_spr
-    assert speedup > 1.5
+    assert doc["empty_cell_fraction"] >= 0.5
+    assert doc["max_abs_error"] <= 1e-3
+    assert (doc["accelerated"]["steps_per_ray"]
+            < doc["brute"]["steps_per_ray"])
+    # at the tiny smoke volume the kernel is too cheap for a stable
+    # speedup bar; the full-scale bar matches the original benchmark
+    if not _SMALL:
+        assert wall["speedup"] > 1.5
+    # zlib never compresses worse at a higher level (monotone ratios)
+    ratios = [r["ratio"] for r in doc["zlib_levels"]]
+    assert ratios[-1] >= ratios[0] * 0.99
+    assert wall["seconds_per_viewset"] > 0

@@ -2,59 +2,49 @@
 
 DESIGN.md §9 promises that the tracing layer is effectively free when off:
 every instrumented hot path pays one attribute read and a no-op method call
-on the shared ``NOOP_SPAN``.  This benchmark runs the identical streaming
-session with tracing off and on, records both wall clocks in
-``BENCH_observability.json``, and asserts the disabled-mode run stays
-within the budget of its own no-op baseline (the untraced run *is* the
-baseline — the tracer parameter defaults to the shared ``NULL_TRACER``, so
-there is no third "uninstrumented" build to compare against).
+on the shared ``NOOP_SPAN``.  This benchmark executes the builtin
+``observability`` sweep spec — the identical streaming session with
+tracing off and on — through the sweep engine, which quarantines both wall
+clocks under ``BENCH_observability.json``'s ``wall_clock`` section, and
+asserts the disabled-mode run stays within the budget of its own no-op
+baseline (the untraced run *is* the baseline — the tracer parameter
+defaults to the shared ``NULL_TRACER``, so there is no third
+"uninstrumented" build to compare against).
 
 The traced/untraced ratio is reported but not asserted: turning tracing on
 legitimately costs span allocation and sampler events, and the number is
 there so the cost stays visible in review diffs.
 """
 
-import os
-
-from repro.experiments import observability_overhead
-
-_SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
+from repro.experiments import observability_overhead, run_sweep, spec_named
 
 
-def test_observability_overhead(benchmark, report, bench_json):
-    row = observability_overhead(
-        resolution=48 if _SMALL else 64,
-        n_accesses=20 if _SMALL else 30,
-        repeats=3,
-    )
+def test_observability_overhead(benchmark, report):
+    result = run_sweep(spec_named("observability"), workers=1)
+    row = result.rows[0]
+    wall = result.walls[0]
     lines = [
         f"Observability overhead @ {row['resolution']}², "
         f"case {row['case']}, {row['accesses']} accesses",
-        f"  untraced : {row['untraced_s'] * 1e3:9.1f} ms",
-        f"  traced   : {row['traced_s'] * 1e3:9.1f} ms "
+        f"  untraced : {wall['untraced_s'] * 1e3:9.1f} ms",
+        f"  traced   : {wall['traced_s'] * 1e3:9.1f} ms "
         f"({row['spans']} spans)",
-        f"  ratio    : {row['ratio']:.3f}x",
+        f"  ratio    : {wall['ratio']:.3f}x",
     ]
     report("observability_overhead", "\n".join(lines))
-
-    bench_json("observability", {
-        "benchmark": "observability_overhead",
-        "resolution": row["resolution"],
-        "case": row["case"],
-        "accesses": row["accesses"],
-        "spans": row["spans"],
-    }, wall_clock={
-        "untraced_s": round(row["untraced_s"], 6),
-        "traced_s": round(row["traced_s"], 6),
-        "ratio": round(row["ratio"], 4),
-    })
+    print(f"wrote {result.artifact_path}")
 
     # sanity: tracing actually recorded the session
     assert row["spans"] > 0
     # the traced run must not be catastrophically slower (an order of
     # magnitude would mean a hot path allocates spans per block, not per
     # request); the untraced run is its own baseline by construction
-    assert row["ratio"] < 10.0
+    assert wall["ratio"] < 10.0
+    # the artifact quarantines every wall number out of the payload
+    assert "wall_clock" not in result.rows[0]
+    assert set(result.doc["wall_clock"]) == {
+        "untraced_s", "traced_s", "ratio",
+    }
 
     benchmark.pedantic(
         lambda: observability_overhead(

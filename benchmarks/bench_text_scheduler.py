@@ -7,8 +7,10 @@ STAGING 1) or strict demand preemption.  This benchmark quantifies the
 recovery on the Figure-9 topology and emits ``BENCH_streaming.json`` so
 regressions show up in review diffs.
 
-Arms: staging off entirely (case 2), then aggressive staging (case 3)
-under scheduling policies off / weighted / strict.  The headline metric is
+The arms are declared in the builtin ``scheduling`` sweep spec (staging
+off entirely, then aggressive staging under policies off / weighted /
+strict) and executed through the sweep engine — this file only asserts on
+the merged artifact and prints the table.  The headline metric is
 **demand-miss latency** — mean client latency over accesses not served
 from the agent cache or the client-resident set.
 
@@ -19,19 +21,17 @@ an artifact).
 
 import os
 
-from repro.experiments import (
-    ablation_scheduling,
-    experiment_resolutions,
-    format_table,
-)
+from repro.experiments import format_table, run_sweep, spec_named
 
 _SMALL = os.environ.get("REPRO_SCALE", "default") == "small"
 _TRACE_OUT = os.environ.get("REPRO_TRACE_OUT")
 
 
-def test_scheduling_policies(benchmark, suite, report, bench_json):
-    res = experiment_resolutions()[0]
-    rows = ablation_scheduling(suite, res)
+def test_scheduling_policies(benchmark, suite, report):
+    spec = spec_named("scheduling")
+    result = run_sweep(spec, workers=1)
+    res = spec.fixed["resolution"]
+    rows = result.rows
     table = format_table(
         headers=["arm", "misses", "demand miss s", "mean latency s",
                  "initial phase", "deduped", "promoted", "cancelled"],
@@ -41,6 +41,7 @@ def test_scheduling_policies(benchmark, suite, report, bench_json):
         title=f"Transfer scheduling — demand-miss latency @ {res}",
     )
     report("scheduling_policies", table)
+    print(f"wrote {result.artifact_path}")
     by = {r["arm"]: r for r in rows}
 
     blind = by["staging+off"]["demand_miss_latency_s"]
@@ -59,29 +60,16 @@ def test_scheduling_policies(benchmark, suite, report, bench_json):
     # every arm actually exercised the miss path
     for r in rows:
         assert r["misses"] > 0
+    # the merged artifact carries the same arms and derived speedups
+    assert set(result.doc["arms"]) == {r["arm"] for r in rows}
+    if weighted:
+        assert result.doc["speedup_weighted_vs_off"] == round(
+            blind / weighted, 4
+        )
 
-    bench_json("streaming", {
-        "benchmark": "transfer_scheduling",
-        "resolution": res,
-        "metric": "demand_miss_latency_s",
-        "arms": {r["arm"]: {
-            "policy": r["policy"],
-            "staging": r["staging"],
-            "misses": r["misses"],
-            "demand_miss_latency_s": round(r["demand_miss_latency_s"], 6),
-            "mean_latency_s": round(r["mean_latency_s"], 6),
-            "initial_phase": r["initial_phase"],
-            "deduped": r["deduped"],
-            "promoted": r["promoted"],
-            "cancelled": r["cancelled"],
-        } for r in rows},
-        "speedup_weighted_vs_off": round(blind / weighted, 4)
-        if weighted else None,
-        "speedup_strict_vs_off": round(blind / strict, 4)
-        if strict else None,
-    })
     benchmark.pedantic(
-        lambda: ablation_scheduling(suite, res), rounds=1, iterations=1
+        lambda: run_sweep(spec, workers=1, write_artifact=False),
+        rounds=1, iterations=1,
     )
 
     if _TRACE_OUT:

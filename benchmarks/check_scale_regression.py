@@ -1,63 +1,31 @@
 #!/usr/bin/env python
-"""Fail CI when BENCH_scale.json throughput regresses against the baseline.
+"""Back-compat shim: the scale-curve preset of ``check_regression.py``.
 
-``BENCH_scale.json`` is committed, so the repo always carries the last
-accepted performance envelope.  The scale-bench job regenerates the file
-on the runner and this script compares the *fresh* ``wall_clock``
-throughput numbers against the *committed* ones (``git show
-<ref>:BENCH_scale.json``), failing on any >25% events/s drop.
-
-Only the ``wall_clock`` section is compared — the deterministic payload is
-guarded by the benchmark's own assertions and by review diffs.  Keys are
-matched by name (``"8/incremental"``, sharded ``"4"``); keys present on
-only one side (e.g. fleet sizes that differ between ``REPRO_SCALE=small``
-CI runs and full-scale committed baselines) are reported but not compared.
-
-The threshold is deliberately loose: it is a guard against order-of-
-magnitude mistakes (an accidentally quadratic path, a dead fast-path),
-not a microbenchmark.  Tune per-invocation with ``--threshold`` or the
-``REPRO_BENCH_TOLERANCE`` environment variable.
+The original scale-only checker grew into the generic
+:mod:`benchmarks.check_regression` (any ``BENCH_*.json``, selectable
+wall_clock figures, either regression direction).  This entry point keeps
+the old CLI — ``--fresh/--ref/--threshold/--min-wall`` — and delegates
+with the preset that reproduces the historical behavior: guard every
+``events_per_second`` figure of ``BENCH_scale.json`` (scaling runs and
+the sharded curve), higher-is-better, sub-``--min-wall`` runs skipped.
 """
 
 import argparse
-import json
 import os
-import subprocess
 import sys
-from typing import Dict, Optional, Tuple
+from pathlib import Path
 
-ARTIFACT = "BENCH_scale.json"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-
-def committed_baseline(ref: str) -> Optional[dict]:
-    try:
-        blob = subprocess.run(
-            ["git", "show", f"{ref}:{ARTIFACT}"],
-            capture_output=True, text=True, check=True,
-        ).stdout
-    except (subprocess.CalledProcessError, FileNotFoundError):
-        return None
-    return json.loads(blob)
-
-
-def throughputs(doc: dict) -> Dict[str, Tuple[float, float]]:
-    """Flatten every (events/s, wall s) figure in the wall_clock section."""
-    wall = doc.get("wall_clock", {})
-    out: Dict[str, Tuple[float, float]] = {}
-    for key, row in wall.get("runs", {}).items():
-        out[f"run:{key}"] = (float(row["events_per_second"]),
-                             float(row["wall_s"]))
-    for key, row in wall.get("sharded", {}).items():
-        out[f"sharded:{key}"] = (float(row["events_per_second"]),
-                                 float(row["makespan_s"]))
-    return out
+from check_regression import main as check_main  # noqa: E402
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="compare fresh BENCH_scale.json throughput vs committed")
-    parser.add_argument("--fresh", default=ARTIFACT,
-                        help="freshly generated artifact (default: %(default)s)")
+    parser.add_argument("--fresh", default="BENCH_scale.json",
+                        help="freshly generated artifact "
+                             "(default: %(default)s)")
     parser.add_argument("--ref", default="HEAD",
                         help="git ref holding the baseline (default: HEAD)")
     parser.add_argument(
@@ -68,61 +36,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-wall", type=float, default=0.2,
         help="skip runs measured in under this many wall seconds on "
-             "either side — too short for a stable throughput figure "
-             "(default 0.2)")
+             "either side (default 0.2)")
     args = parser.parse_args(argv)
-
-    try:
-        with open(args.fresh) as f:
-            fresh_doc = json.load(f)
-    except FileNotFoundError:
-        print(f"error: {args.fresh} not found — run the scale benchmark "
-              "first", file=sys.stderr)
-        return 2
-    base_doc = committed_baseline(args.ref)
-    if base_doc is None:
-        print(f"no committed {ARTIFACT} at {args.ref}; nothing to compare")
-        return 0
-
-    fresh = throughputs(fresh_doc)
-    base = throughputs(base_doc)
-    common = sorted(set(fresh) & set(base))
-    skipped = sorted(set(fresh) ^ set(base))
-    if not common:
-        print("no common wall_clock keys between fresh and committed "
-              "artifacts; nothing to compare")
-        return 0
-
-    regressions = []
-    compared = 0
-    print(f"{'key':<24} {'committed':>12} {'fresh':>12} {'ratio':>8}")
-    for key in common:
-        base_eps, base_wall = base[key]
-        fresh_eps, fresh_wall = fresh[key]
-        if min(base_wall, fresh_wall) < args.min_wall:
-            print(f"{key:<24} {base_eps:>12.1f} {fresh_eps:>12.1f} "
-                  f"{'—':>8}  (sub-{args.min_wall}s run, not compared)")
-            continue
-        compared += 1
-        ratio = fresh_eps / base_eps if base_eps else float("inf")
-        flag = ""
-        if ratio < 1.0 - args.threshold:
-            regressions.append(key)
-            flag = "  << REGRESSION"
-        print(f"{key:<24} {base_eps:>12.1f} {fresh_eps:>12.1f} "
-              f"{ratio:>7.2f}x{flag}")
-    if skipped:
-        print(f"(skipped {len(skipped)} keys present on one side only: "
-              f"{', '.join(skipped)})")
-
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} throughput regression(s) beyond "
-              f"{args.threshold:.0%}: {', '.join(regressions)}",
-              file=sys.stderr)
-        return 1
-    print(f"\nOK: no events/s drop beyond {args.threshold:.0%} across "
-          f"{compared} compared runs")
-    return 0
+    return check_main([
+        args.fresh,
+        "--ref", args.ref,
+        "--select", "runs.*.events_per_second",
+        "--select", "sharded.*.events_per_second",
+        "--direction", "higher",
+        "--threshold", str(args.threshold),
+        "--min-wall", str(args.min_wall),
+    ])
 
 
 if __name__ == "__main__":

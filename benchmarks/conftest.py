@@ -9,16 +9,13 @@ survives pytest's output capture.
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 from typing import Optional
 
 import pytest
 
 from repro.analysis.determinism import MODELED_CPU_SECONDS_PER_BYTE
-from repro.experiments import StreamingSuite
-from repro.streaming.session import SessionConfig
+from repro.experiments import StreamingSuite, write_bench
 
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -74,23 +71,15 @@ def bench_json():
       comparison) ignore;
     * every artifact is stamped with the seed and scale that produced it,
       so a diff that *does* appear is attributable.
+
+    The writer itself is :func:`repro.experiments.write_bench` — the same
+    single artifact layer the sweep engine uses — so the meta header and
+    serialization can never drift between the two paths.
     """
 
     def _write(name: str, payload: dict,
                wall_clock: Optional[dict] = None) -> None:
-        doc = {
-            "meta": {
-                "format": "repro-bench/1",
-                "scale": os.environ.get("REPRO_SCALE", "default"),
-                "seed": SessionConfig().trace_seed,
-                "cpu_seconds_per_byte": MODELED_CPU_SECONDS_PER_BYTE,
-            },
-            **payload,
-        }
-        if wall_clock is not None:
-            doc["wall_clock"] = wall_clock
-        path = REPO_ROOT / f"BENCH_{name}.json"
-        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        path = write_bench(name, payload, wall_clock, out_dir=REPO_ROOT)
         print(f"wrote {path}")
 
     return _write

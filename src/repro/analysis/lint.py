@@ -81,7 +81,9 @@ RULES: dict[str, tuple[str, str]] = {
 }
 
 #: path fragments marking the simulator packages SIM001/SIM002/SIM005 watch
-SIM_PACKAGE_FRAGMENTS = ("repro/lon", "repro/streaming", "repro/obs")
+SIM_PACKAGE_FRAGMENTS = (
+    "repro/lon", "repro/streaming", "repro/obs", "repro/experiments",
+)
 
 #: calls whose presence marks a function as feeding the event/flow machinery
 _SCHEDULING_CALLS = frozenset({

@@ -12,7 +12,11 @@ Usage (``python -m repro <command>``):
 * ``multiclient`` — run N concurrent browsing clients against one shared
   depot fleet and report per-client + fleet metrics and sim throughput;
 * ``trace-report`` — per-access waterfall + per-stage latency table from a
-  saved trace file.
+  saved trace file;
+* ``sweep``    — the declarative experiment engine: ``sweep list`` shows
+  the builtin specs, ``sweep run``/``resume`` execute one across worker
+  processes with per-run checkpoints, ``sweep report`` renders merged
+  BENCH artifacts as a markdown report with paper-vs-measured tables.
 """
 
 from __future__ import annotations
@@ -236,6 +240,82 @@ def cmd_trace_report(args) -> int:
     return 0
 
 
+def _sweep_spec(args):
+    from .experiments import load_spec_file, spec_named
+
+    if args.spec_file is None and args.spec is None:
+        raise SystemExit(
+            "sweep run/resume needs a builtin spec name or --spec-file "
+            "(see `python -m repro sweep list`)"
+        )
+    spec = (load_spec_file(args.spec_file) if args.spec_file is not None
+            else spec_named(args.spec))
+    if args.seeds:
+        spec = spec.with_overrides(
+            seeds=[int(s) for s in args.seeds.split(",")]
+        )
+    return spec
+
+
+def cmd_sweep_list(args) -> int:
+    from .experiments import builtin_specs, format_table
+
+    rows = []
+    for name, spec in sorted(builtin_specs().items()):
+        runs = spec.expand()
+        rows.append([
+            name, len(runs),
+            f"BENCH_{spec.artifact}.json" if spec.artifact else "-",
+            spec.title or "-",
+        ])
+    print(format_table(
+        headers=["spec", "runs", "artifact", "title"], rows=rows,
+    ))
+    return 0
+
+
+def cmd_sweep_run(args, resume: bool = False) -> int:
+    from .experiments import run_sweep
+
+    spec = _sweep_spec(args)
+    checkpoint_dir = args.checkpoint_dir
+    if resume and checkpoint_dir is None:
+        raise SystemExit("sweep resume requires --checkpoint-dir")
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        out_dir=args.out_dir,
+        write_artifact=not args.no_artifact,
+        progress=print,
+    )
+    print(f"{spec.name}: {len(result.rows)} rows "
+          f"({result.reused} reused, {result.executed} executed); "
+          f"payload fingerprint {result.payload_fingerprint[:16]}")
+    if result.artifact_path is not None:
+        print(f"artifact: {result.artifact_path}")
+    return 0
+
+
+def cmd_sweep_resume(args) -> int:
+    return cmd_sweep_run(args, resume=True)
+
+
+def cmd_sweep_report(args) -> int:
+    from .experiments import builtin_specs, render_report
+
+    names = (args.artifacts.split(",") if args.artifacts else
+             [s.artifact for s in builtin_specs().values() if s.artifact])
+    text = render_report(names, out_dir=args.out_dir)
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument grammar (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -331,6 +411,56 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--no-waterfall", action="store_true",
                    help="print only the per-stage breakdown table")
     t.set_defaults(func=cmd_trace_report)
+
+    sw = sub.add_parser(
+        "sweep",
+        help="declarative experiment sweeps: run, resume, report",
+    )
+    swsub = sw.add_subparsers(dest="sweep_command", required=True)
+
+    sl = swsub.add_parser("list", help="list the builtin sweep specs")
+    sl.set_defaults(func=cmd_sweep_list)
+
+    def _run_args(p):
+        p.add_argument("spec", nargs="?", default=None,
+                       help="builtin spec name (see `sweep list`)")
+        p.add_argument("--spec-file", type=Path, default=None,
+                       help="load the spec from a TOML/JSON file instead")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+        p.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="directory for per-run checkpoint records")
+        p.add_argument("--out-dir", type=Path, default=None,
+                       help="where BENCH_<artifact>.json lands "
+                            "(default: repo root)")
+        p.add_argument("--seeds", default=None,
+                       help="comma-separated seed override")
+        p.add_argument("--no-artifact", action="store_true",
+                       help="skip writing the BENCH artifact")
+
+    sr = swsub.add_parser("run", help="execute a sweep from scratch")
+    _run_args(sr)
+    sr.set_defaults(func=cmd_sweep_run)
+
+    sre = swsub.add_parser(
+        "resume",
+        help="reuse valid checkpoint records, execute only missing runs",
+    )
+    _run_args(sre)
+    sre.set_defaults(func=cmd_sweep_resume)
+
+    srep = swsub.add_parser(
+        "report", help="render merged BENCH artifacts as markdown",
+    )
+    srep.add_argument("--artifacts", default=None,
+                      help="comma-separated artifact stems "
+                           "(default: every builtin spec's artifact)")
+    srep.add_argument("--out-dir", type=Path, default=None,
+                      help="directory holding the BENCH files "
+                           "(default: repo root)")
+    srep.add_argument("--out", type=Path, default=None,
+                      help="write the report here instead of stdout")
+    srep.set_defaults(func=cmd_sweep_report)
     return parser
 
 

@@ -14,13 +14,13 @@ full grid or ``REPRO_SCALE=small`` for CI-speed smoke runs.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from ..lightfield.lattice import CameraLattice
 
-__all__ = ["scale_name", "experiment_lattice", "experiment_resolutions",
-           "PAPER"]
+__all__ = ["scale_name", "scale_small", "experiment_lattice",
+           "experiment_resolutions", "PAPER"]
 
 
 def scale_name() -> str:
@@ -29,6 +29,11 @@ def scale_name() -> str:
     if name not in ("small", "default", "paper"):
         raise ValueError(f"REPRO_SCALE must be small/default/paper, got {name}")
     return name
+
+
+def scale_small() -> bool:
+    """True at the CI smoke scale (``REPRO_SCALE=small``)."""
+    return scale_name() == "small"
 
 
 def experiment_lattice() -> CameraLattice:
@@ -55,7 +60,9 @@ class _PaperNumbers:
 
     #: Figure 7 — total database size in GB at each resolution,
     #: (uncompressed, compressed); digitized from the bar chart.
-    fig7_sizes_gb: Dict[int, Tuple[float, float]] = None  # type: ignore
+    fig7_sizes_gb: Dict[int, Tuple[float, float]] = field(
+        default_factory=dict
+    )
 
     #: zlib compression ratio band quoted in Section 4.1
     compression_ratio_band: Tuple[float, float] = (5.0, 7.0)

@@ -1,0 +1,315 @@
+"""Markdown reports from merged ``repro-bench/1`` artifacts.
+
+The last layer of the sweep engine: one or more BENCH documents in, one
+markdown report out, with paper-vs-measured tables wherever the paper
+publishes a number (:data:`~repro.experiments.config.PAPER`).  The same
+renderer regenerates the generated-table section of ``EXPERIMENTS.md``, so
+committed tables are provably what the artifacts say.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .artifacts import WALL_CLOCK_KEY, bench_path, payload_fingerprint
+from .config import PAPER
+
+__all__ = [
+    "load_bench",
+    "md_table",
+    "render_report",
+    "report_sections",
+]
+
+BenchDoc = Mapping[str, object]
+
+
+def load_bench(
+    name: str, out_dir: Union[str, Path, None] = None
+) -> Optional[Dict[str, object]]:
+    """``BENCH_<name>.json`` as a dict, or None when absent."""
+    path = bench_path(name, out_dir)
+    if not path.is_file():
+        return None
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: artifact must hold one JSON object")
+    return doc
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return ", ".join(_cell(v) for v in value)
+    return str(value)
+
+
+def md_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A GitHub-markdown table."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _rows_table(rows: Sequence[Mapping[str, object]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """A table over homogeneous dict rows (columns default to union)."""
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        cols: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(str(key))
+        columns = cols
+    return md_table(columns, [[r.get(c, "") for c in columns] for r in rows])
+
+
+def _meta_line(doc: BenchDoc) -> str:
+    meta = doc.get("meta")
+    if not isinstance(meta, Mapping):
+        return ""
+    bits = [f"scale `{meta.get('scale')}`", f"seed {meta.get('seed')}"]
+    if "spec" in meta:
+        bits.append(f"spec `{meta.get('spec')}`")
+    bits.append(f"payload fingerprint `{payload_fingerprint(dict(doc))[:16]}`")
+    return "*(" + ", ".join(bits) + ")*"
+
+
+# ----------------------------------------------------------------------
+# per-artifact sections
+# ----------------------------------------------------------------------
+def _section_generic(name: str, doc: BenchDoc) -> str:
+    rows = doc.get("rows")
+    body = (_rows_table(rows) if isinstance(rows, list)  # type: ignore[arg-type]
+            else "```json\n" + json.dumps(
+                {k: v for k, v in doc.items() if k != "meta"},
+                indent=2, sort_keys=True) + "\n```")
+    return body
+
+
+def _section_latency(doc: BenchDoc) -> str:
+    rows = [r for r in doc.get("rows", []) if isinstance(r, Mapping)]  # type: ignore[union-attr]
+    parts = [_rows_table(rows, columns=[
+        "case", "resolution", "accesses", "hit_rate", "wan_rate",
+        "initial_phase", "mean_latency_s", "steady_latency_s",
+        "wan_rate_initial", "hit_rate_initial",
+    ])]
+    top = max((int(r["resolution"]) for r in rows  # type: ignore[arg-type]
+               if "resolution" in r), default=0)
+    by_case = {
+        str(r.get("case")): r for r in rows
+        if r.get("resolution") == top
+    }
+    c2 = next((r for k, r in by_case.items() if "2" in k), None)
+    c3 = next((r for k, r in by_case.items() if "3" in k), None)
+    if c2 and c3:
+        parts.append("")
+        parts.append("Paper comparison (initial phase, top resolution "
+                     f"{top}² here vs 500² in the paper):")
+        parts.append(md_table(
+            ["metric", "measured c2", "paper c2", "measured c3",
+             "paper c3"],
+            [
+                ["WAN access rate", c2.get("wan_rate_initial"),
+                 PAPER.wan_rate_initial_case2,
+                 c3.get("wan_rate_initial"),
+                 PAPER.wan_rate_initial_case3],
+                ["hit rate", c2.get("hit_rate_initial"),
+                 PAPER.hit_rate_initial_case2,
+                 c3.get("hit_rate_initial"),
+                 PAPER.hit_rate_initial_case3],
+            ],
+        ))
+    return "\n".join(parts)
+
+
+def _section_generation(doc: BenchDoc) -> str:
+    wall = doc.get(WALL_CLOCK_KEY, {})
+    assert isinstance(wall, Mapping)
+    parts = [md_table(
+        ["metric", "measured", "paper"],
+        [
+            ["empty macrocell fraction", doc.get("empty_cell_fraction"),
+             "—"],
+            ["kernel speedup (macrocell vs brute)", wall.get("speedup"),
+             "—"],
+            ["zlib ratios (levels 1/6/9)",
+             [r.get("ratio") for r in doc.get("zlib_levels", [])  # type: ignore[union-attr]
+              if isinstance(r, Mapping)],
+             f"{PAPER.compression_ratio_band[0]}-"
+             f"{PAPER.compression_ratio_band[1]} (500² shaded renders)"],
+            ["full DB hours on 32 CPUs",
+             wall.get("full_db_hours_on_32cpu"),
+             f"{PAPER.generation_hours_band[0]}-"
+             f"{PAPER.generation_hours_band[1]}"],
+        ],
+    )]
+    return "\n".join(parts)
+
+
+def _section_scheduling(doc: BenchDoc) -> str:
+    arms = doc.get("arms")
+    parts = []
+    if isinstance(arms, Mapping):
+        rows = [{"arm": k, **v} for k, v in sorted(arms.items())
+                if isinstance(v, Mapping)]
+        parts.append(_rows_table(rows, columns=[
+            "arm", "policy", "staging", "misses", "demand_miss_latency_s",
+            "mean_latency_s", "deduped", "promoted", "cancelled",
+        ]))
+    parts.append("")
+    parts.append(md_table(
+        ["speedup (demand-miss latency)", "value"],
+        [["weighted vs off", doc.get("speedup_weighted_vs_off")],
+         ["strict vs off", doc.get("speedup_strict_vs_off")]],
+    ))
+    return "\n".join(parts)
+
+
+def _section_observability(doc: BenchDoc) -> str:
+    wall = doc.get(WALL_CLOCK_KEY, {})
+    assert isinstance(wall, Mapping)
+    return md_table(
+        ["metric", "value"],
+        [
+            ["resolution", doc.get("resolution")],
+            ["accesses", doc.get("accesses")],
+            ["spans recorded", doc.get("spans")],
+            ["untraced s (best of repeats)", wall.get("untraced_s")],
+            ["traced s (best of repeats)", wall.get("traced_s")],
+            ["traced / untraced", wall.get("ratio")],
+        ],
+    )
+
+
+def _section_scale(doc: BenchDoc) -> str:
+    wall = doc.get(WALL_CLOCK_KEY, {})
+    assert isinstance(wall, Mapping)
+    wall_runs = wall.get("runs", {})
+    assert isinstance(wall_runs, Mapping)
+    rows = []
+    for r in doc.get("runs", []):  # type: ignore[union-attr]
+        if not isinstance(r, Mapping):
+            continue
+        key = f"{r.get('n_clients')}/{r.get('rebalance')}"
+        w = wall_runs.get(key, {})
+        assert isinstance(w, Mapping)
+        rows.append({
+            "N": r.get("n_clients"), "arm": r.get("rebalance"),
+            "events": r.get("events_fired"), "sim s": r.get("sim_s"),
+            "wall s": w.get("wall_s"),
+            "events/s": w.get("events_per_second"),
+        })
+    parts = [_rows_table(rows, columns=[
+        "N", "arm", "events", "sim s", "wall s", "events/s"])]
+    speedups = wall.get("speedups")
+    if isinstance(speedups, Mapping):
+        parts.append("")
+        parts.append(md_table(
+            ["fleet size", "incremental speedup vs full"],
+            [[n, s] for n, s in sorted(
+                speedups.items(), key=lambda kv: int(kv[0]))],
+        ))
+    sharded = wall.get("sharded")
+    if isinstance(sharded, Mapping):
+        parts.append("")
+        parts.append(md_table(
+            ["shards", "makespan s", "cpu s", "events/s", "events/s-core"],
+            [[s, w.get("makespan_s"), w.get("cpu_s"),
+              w.get("events_per_second"), w.get("events_per_core_second")]
+             for s, w in sorted(sharded.items(), key=lambda kv: int(kv[0]))
+             if isinstance(w, Mapping)],
+        ))
+    return "\n".join(parts)
+
+
+def _section_ablations(doc: BenchDoc) -> str:
+    families = doc.get("families")
+    parts = []
+    if isinstance(families, Mapping):
+        for family in sorted(families):
+            rows = [r for r in families[family]  # type: ignore[union-attr]
+                    if isinstance(r, Mapping)]
+            parts.append(f"**{family}**")
+            parts.append("")
+            parts.append(_rows_table(rows))
+            parts.append("")
+    return "\n".join(parts).rstrip()
+
+
+_SECTION_TITLES = {
+    "latency": "Figures 9-12 — client latency (Cases 1-3)",
+    "generation": "Section 4.1 — database generation",
+    "streaming": "Transfer scheduling — demand-miss latency by policy",
+    "observability": "Observability overhead",
+    "scale": "Multi-client scaling and sharded fleets",
+    "ablations": "Design-choice ablations",
+    "smoke": "Sweep-engine smoke",
+}
+
+_RENDERERS = {
+    "latency": _section_latency,
+    "generation": _section_generation,
+    "streaming": _section_scheduling,
+    "observability": _section_observability,
+    "scale": _section_scale,
+    "ablations": _section_ablations,
+}
+
+
+def report_sections(
+    names: Sequence[str], out_dir: Union[str, Path, None] = None
+) -> List[str]:
+    """One rendered markdown section per artifact that exists on disk."""
+    sections = []
+    for name in names:
+        doc = load_bench(name, out_dir)
+        if doc is None:
+            continue
+        title = _SECTION_TITLES.get(name, name)
+        renderer = _RENDERERS.get(name)
+        body = renderer(doc) if renderer else _section_generic(name, doc)
+        sections.append(
+            f"## {title}\n\n{_meta_line(doc)}\n\n{body}"
+        )
+    return sections
+
+
+def render_report(
+    names: Sequence[str],
+    out_dir: Union[str, Path, None] = None,
+    title: str = "Sweep report",
+) -> str:
+    """A full markdown report over the named BENCH artifacts."""
+    sections = report_sections(names, out_dir)
+    if not sections:
+        body = ("*(no BENCH artifacts found — run `python -m repro sweep "
+                "run <spec>` first)*")
+    else:
+        body = "\n\n".join(sections)
+    header = (
+        f"# {title}\n\n"
+        "Deterministic payloads are reproducible from the stamped seed; "
+        "host timings live under each artifact's quarantined `wall_clock` "
+        "section and are excluded from payload fingerprints.\n"
+    )
+    return header + "\n" + body + "\n"

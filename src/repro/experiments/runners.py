@@ -9,7 +9,6 @@ sessions (3 cases × 3 resolutions).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,7 +25,11 @@ from ..streaming.metrics import AccessSource, SessionMetrics
 from ..streaming.session import SessionConfig, run_session
 from ..volume.synthetic import neg_hip
 from ..volume.transfer import preset
+from .artifacts import WALL_CLOCK_KEY, wall_timer
 from .config import PAPER, experiment_lattice, experiment_resolutions
+
+#: one plain-data result row (JSON-serializable values)
+Row = Dict[str, object]
 
 __all__ = [
     "StreamingSuite",
@@ -59,14 +62,14 @@ class StreamingSuite:
         self,
         lattice: Optional[CameraLattice] = None,
         resolutions: Optional[Sequence[int]] = None,
-        config_overrides: Optional[dict] = None,
+        config_overrides: Optional[Dict[str, object]] = None,
     ) -> None:
         self.lattice = lattice if lattice is not None else experiment_lattice()
         self.resolutions = tuple(
             resolutions if resolutions is not None
             else experiment_resolutions()
         )
-        self.config_overrides = dict(config_overrides or {})
+        self.config_overrides: Dict[str, object] = dict(config_overrides or {})
         self._sources: Dict[int, SyntheticSource] = {}
         self._runs: Dict[Tuple[int, int], SessionMetrics] = {}
 
@@ -78,16 +81,18 @@ class StreamingSuite:
             )
         return self._sources[resolution]
 
-    def run(self, case: int, resolution: int, **overrides) -> SessionMetrics:
+    def run(
+        self, case: int, resolution: int, **overrides: object
+    ) -> SessionMetrics:
         """One session's metrics (cached unless overrides are passed)."""
         if overrides:
             cfg = SessionConfig(
-                case=case, **{**self.config_overrides, **overrides}
+                case=case, **{**self.config_overrides, **overrides},  # type: ignore[arg-type]
             )
             return run_session(self.source(resolution), cfg)
         key = (case, resolution)
         if key not in self._runs:
-            cfg = SessionConfig(case=case, **self.config_overrides)
+            cfg = SessionConfig(case=case, **self.config_overrides)  # type: ignore[arg-type]
             self._runs[key] = run_session(self.source(resolution), cfg)
         return self._runs[key]
 
@@ -95,7 +100,7 @@ class StreamingSuite:
     def fig08_decompression(self, resolutions: Optional[Sequence[int]] = None
                             ) -> Dict[int, List[float]]:
         """Per-access decompression seconds (Figure 8), one series per res."""
-        out = {}
+        out: Dict[int, List[float]] = {}
         for res in (resolutions or self.resolutions):
             out[res] = self.run(3, res).decompress_series()
         return out
@@ -111,7 +116,7 @@ class StreamingSuite:
                 for case in (1, 2, 3)}
 
 
-def access_rate_stats(suite: StreamingSuite, resolution: int) -> dict:
+def access_rate_stats(suite: StreamingSuite, resolution: int) -> Row:
     """Section 4.3 statistics at one resolution.
 
     WAN-access and hit rates over the initial phase (paper @500²: 69% vs
@@ -143,7 +148,7 @@ def fig07_database_size(
     sample_viewsets: int = 1,
     workers: int = 1,
     measure_l: int = 3,
-) -> List[dict]:
+) -> List[Row]:
     """Measure per-view-set sizes on real renders; extrapolate the totals.
 
     For each resolution, ``sample_viewsets`` view-set *sub-blocks* of
@@ -163,7 +168,7 @@ def fig07_database_size(
     else:
         measure_lat = lat
         scale_up = 1
-    rows = []
+    rows: List[Row] = []
     grid_rows, grid_cols = measure_lat.n_viewsets
     for res in resolutions:
         builder = LightFieldBuilder(
@@ -176,7 +181,8 @@ def fig07_database_size(
             (grid_rows // 2, (k * grid_cols) // max(sample_viewsets, 1))
             for k in range(sample_viewsets)
         ]
-        raw_sizes, comp_sizes = [], []
+        raw_sizes: List[float] = []
+        comp_sizes: List[float] = []
         for key in keys:
             vs = builder.render_viewset(key)
             result = builder.compress_viewset(vs)
@@ -207,13 +213,16 @@ def text_generation_time(
     sample_viewsets: int = 2,
     workers: int = 1,
     paper_cpus: int = 32,
-) -> dict:
+) -> Row:
     """Time view-set generation; extrapolate to the full paper database.
 
     The paper: 2-4.5 h for the whole database on 32 processors, dominated by
     I/O.  We measure our per-view-set render+compress time and scale to 288
     view sets on 32 workers with perfect speedup (the generator is
     embarrassingly parallel across view sets).
+
+    Host timings land under the row's quarantined ``wall_clock`` section;
+    the rest of the row is deterministic.
     """
     vol = neg_hip(size=volume_size)
     tf = preset("neghip")
@@ -221,20 +230,21 @@ def text_generation_time(
     builder = LightFieldBuilder(
         vol, tf, lat, resolution=resolution, workers=workers,
     )
-    t0 = time.perf_counter()
-    for i in range(sample_viewsets):
-        vs = builder.render_viewset((6 + i, 11))
-        builder.compress_viewset(vs)
-    elapsed = time.perf_counter() - t0
-    per_viewset = elapsed / sample_viewsets
+    with wall_timer() as t:
+        for i in range(sample_viewsets):
+            vs = builder.render_viewset((6 + i, 11))
+            builder.compress_viewset(vs)
+    per_viewset = t.seconds / sample_viewsets
     full_hours_32cpu = per_viewset * PAPER_GRID_VIEWSETS / paper_cpus / 3600.0
     return {
         "resolution": resolution,
-        "seconds_per_viewset": per_viewset,
-        "full_db_hours_on_32cpu": full_hours_32cpu,
         "paper_hours_band": PAPER.generation_hours_band,
         "views_rendered": builder.stats.views_rendered,
         "compression_ratio": builder.stats.compression_ratio,
+        WALL_CLOCK_KEY: {
+            "seconds_per_viewset": per_viewset,
+            "full_db_hours_on_32cpu": full_hours_32cpu,
+        },
     }
 
 
@@ -246,7 +256,7 @@ def text_fps(
     modes: Sequence[str] = ("quadrilinear", "uv-nearest", "nearest"),
     frames: int = 8,
     volume_size: int = 32,
-) -> List[dict]:
+) -> List[Row]:
     """Measure novel-view synthesis rate from a resident view set.
 
     The paper claims >30 fps "due to the simplistic nature of light field
@@ -257,7 +267,7 @@ def text_fps(
     vol = neg_hip(size=volume_size)
     tf = preset("neghip")
     lat = CameraLattice(n_theta=12, n_phi=24, l=3)
-    rows = []
+    rows: List[Row] = []
     for res in resolutions:
         builder = LightFieldBuilder(
             vol, tf, lat, resolution=res, workers=1,
@@ -278,16 +288,18 @@ def text_fps(
                 fov_deg=builder.spheres.camera_fov_deg() * 0.5,
             )
             synth.render(cam)  # warm the atlas
-            t0 = time.perf_counter()
-            for _ in range(frames):
-                synth.render(cam)
-            dt = (time.perf_counter() - t0) / frames
+            with wall_timer() as t:
+                for _ in range(frames):
+                    synth.render(cam)
+            dt = t.seconds / frames
             rows.append({
                 "resolution": res,
                 "mode": mode,
-                "ms_per_frame": dt * 1e3,
-                "fps": 1.0 / dt,
-                "meets_30fps": 1.0 / dt >= PAPER.fps_claim,
+                WALL_CLOCK_KEY: {
+                    "ms_per_frame": dt * 1e3,
+                    "fps": 1.0 / dt,
+                    "meets_30fps": 1.0 / dt >= PAPER.fps_claim,
+                },
             })
     return rows
 
@@ -304,7 +316,7 @@ def qgr_sweep(
     threshold: float = 0.25,
     warmup: int = 5,
     n_accesses: int = 40,
-) -> List[dict]:
+) -> List[Row]:
     """Locate each case's Quality Guaranteed Rate.
 
     The paper: "we refer to such sufficiently slow rate of user movement as
@@ -320,7 +332,7 @@ def qgr_sweep(
         standard_trace(suite.lattice, n_accesses=n_accesses, seed=s)
         for s in seeds
     ]
-    rows = []
+    rows: List[Row] = []
     for case in cases:
         for speed in speeds:
             hidden_sum = 0.0
@@ -344,9 +356,9 @@ def qgr_sweep(
 # ----------------------------------------------------------------------
 def ablation_prefetch_policy(
     suite: StreamingSuite, resolution: int, case: int = 2
-) -> List[dict]:
+) -> List[Row]:
     """Quadrant vs all-neighbors vs none (miss rate vs extraneous fetches)."""
-    rows = []
+    rows: List[Row] = []
     for policy in ("quadrant", "all-neighbors", "none"):
         m = suite.run(case, resolution, prefetch_policy=policy)
         rows.append({
@@ -361,9 +373,9 @@ def ablation_prefetch_policy(
 
 def ablation_staging(
     suite: StreamingSuite, resolution: int
-) -> List[dict]:
+) -> List[Row]:
     """Proximity vs FIFO staging order, and staging concurrency sweep."""
-    rows = []
+    rows: List[Row] = []
     for order in ("proximity", "fifo"):
         for conc in (1, 4, 8):
             m = suite.run(3, resolution, staging_order=order,
@@ -381,9 +393,9 @@ def ablation_staging(
 
 def ablation_stripe_width(
     suite: StreamingSuite, resolution: int
-) -> List[dict]:
+) -> List[Row]:
     """LoRS striping: single-depot vs striped WAN placement (case 2)."""
-    rows = []
+    rows: List[Row] = []
     for width in (1, 2, 3):
         m = suite.run(2, resolution, stripe_width=width,
                       block_size=256 * 1024)
@@ -400,7 +412,7 @@ def ablation_stripe_width(
 
 def ablation_codec(
     resolution: int = 200, volume_size: int = 32
-) -> List[dict]:
+) -> List[Row]:
     """zlib levels and the delta predictor: ratio vs (de)compression time."""
     vol = neg_hip(size=volume_size)
     tf = preset("neghip")
@@ -410,7 +422,7 @@ def ablation_codec(
         settings=RenderSettings(shaded=False),
     )
     vs = builder.render_viewset((2, 3))
-    rows = []
+    rows: List[Row] = []
     for name, codec in (
         ("zlib-1", ZlibCodec(level=1)),
         ("zlib-6", ZlibCodec(level=6)),
@@ -423,19 +435,21 @@ def ablation_codec(
             "codec": name,
             "level": result.level,
             "ratio": result.ratio,
-            "compress_s": result.compress_seconds,
-            "decompress_s": dec_s,
             "payload_mb": result.compressed_size / 1e6,
+            WALL_CLOCK_KEY: {
+                "compress_s": result.compress_seconds,
+                "decompress_s": dec_s,
+            },
         })
     return rows
 
 
 def ablation_agent_cache(
     suite: StreamingSuite, resolution: int, case: int = 2
-) -> List[dict]:
+) -> List[Row]:
     """Client-agent cache budget vs hit rate (LRU pressure sweep)."""
     payload = len(suite.source(resolution).payload((0, 0)))
-    rows = []
+    rows: List[Row] = []
     for budget_payloads in (2, 6, None):
         cache = None if budget_payloads is None else (
             budget_payloads * payload
@@ -469,7 +483,7 @@ def demand_miss_latency(m: SessionMetrics) -> Tuple[float, int]:
 
 def ablation_scheduling(
     suite: StreamingSuite, resolution: int
-) -> List[dict]:
+) -> List[Row]:
     """Transfer-scheduling policy ablation on the Figure-9 topology.
 
     Four arms: staging off entirely (case 2), then aggressive staging
@@ -481,7 +495,7 @@ def ablation_scheduling(
     """
     arms = [("staging-off", 2, "weighted")]
     arms += [(f"staging+{p}", 3, p) for p in SCHEDULING_POLICIES]
-    rows = []
+    rows: List[Row] = []
     for label, case, policy in arms:
         m = suite.run(case, resolution, scheduling_policy=policy)
         miss_latency, misses = demand_miss_latency(m)
@@ -506,7 +520,7 @@ def observability_overhead(
     n_accesses: int = 30,
     lattice: Optional[CameraLattice] = None,
     repeats: int = 3,
-) -> dict:
+) -> Row:
     """Wall-clock cost of the tracing layer, on vs off.
 
     Runs the identical session ``repeats`` times untraced and traced and
@@ -523,12 +537,12 @@ def observability_overhead(
     def run_once(tracing: bool) -> Tuple[float, SessionMetrics]:
         cfg = SessionConfig(case=case, n_accesses=n_accesses,
                             tracing=tracing)
-        t0 = time.perf_counter()
-        m = run_session(source, cfg)
-        return time.perf_counter() - t0, m
+        with wall_timer() as t:
+            m = run_session(source, cfg)
+        return t.seconds, m
 
     untraced = min(run_once(False)[0] for _ in range(repeats))
-    traced_times = []
+    traced_times: List[float] = []
     traced_metrics: Optional[SessionMetrics] = None
     for _ in range(repeats):
         dt, m = run_once(True)
@@ -541,16 +555,18 @@ def observability_overhead(
         "resolution": resolution,
         "case": case,
         "accesses": n_accesses,
-        "untraced_s": untraced,
-        "traced_s": traced,
-        "ratio": traced / untraced if untraced > 0 else 0.0,
         "spans": spans,
+        WALL_CLOCK_KEY: {
+            "untraced_s": round(untraced, 6),
+            "traced_s": round(traced, 6),
+            "ratio": round(traced / untraced, 4) if untraced > 0 else 0.0,
+        },
     }
 
 
 def ablation_viewset_size(
     resolution: int = 128, volume_size: int = 32
-) -> List[dict]:
+) -> List[Row]:
     """The locality knob: view-set edge l (window size) vs transfer unit.
 
     Larger l = bigger, fewer transfers (better WAN efficiency, coarser
@@ -559,7 +575,7 @@ def ablation_viewset_size(
     """
     from ..streaming.trace import standard_trace
 
-    rows = []
+    rows: List[Row] = []
     for l, (nt, npz) in ((2, (12, 24)), (3, (12, 24)), (6, (36, 72))):
         lat = CameraLattice(n_theta=nt, n_phi=npz, l=l)
         src = SyntheticSource(lat, resolution=resolution)
