@@ -10,7 +10,11 @@ any drop beyond the threshold.
 The comparison is generic over the artifact shape: the ``wall_clock``
 tree is flattened to dotted keys (``runs.8/incremental.events_per_second``,
 ``sharded.4.makespan_s``, ``speedup``), and ``--select`` fnmatch patterns
-choose which leaves are guarded.  ``--direction`` says which way is good:
+choose which leaves are guarded.  ``--section`` retargets the comparison
+at any other dotted top-level subtree (e.g. ``--section fleet`` guards
+the deterministic payload figures of the fleet observability tiers —
+useful with a tight ``--threshold``, since those numbers carry no host
+noise).  ``--direction`` says which way is good:
 
 * ``higher`` (default) — throughput-style figures (events/s, speedup);
   a fresh value below ``(1 - threshold) x committed`` fails;
@@ -66,6 +70,16 @@ def flatten_wall(node: object, prefix: str = "") -> Dict[str, float]:
     return out
 
 
+def section_subtree(doc: dict, section: str) -> object:
+    """The subtree at a dotted path (empty dict when absent)."""
+    node: object = doc
+    for part in section.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return {}
+        node = node[part]
+    return node
+
+
 def select_keys(
     leaves: Dict[str, float], patterns: Optional[List[str]]
 ) -> List[str]:
@@ -97,15 +111,16 @@ def compare(
     direction: str,
     threshold: float,
     min_wall: float,
+    section: str = "wall_clock",
 ) -> int:
-    fresh = flatten_wall(fresh_doc.get("wall_clock", {}))
-    base = flatten_wall(base_doc.get("wall_clock", {}))
+    fresh = flatten_wall(section_subtree(fresh_doc, section))
+    base = flatten_wall(section_subtree(base_doc, section))
     selected_fresh = select_keys(fresh, patterns)
     selected_base = select_keys(base, patterns)
     common = sorted(set(selected_fresh) & set(selected_base))
     skipped = sorted(set(selected_fresh) ^ set(selected_base))
     if not common:
-        print("no common selected wall_clock keys between fresh and "
+        print(f"no common selected {section} keys between fresh and "
               "committed artifacts; nothing to compare")
         return 0
 
@@ -136,7 +151,7 @@ def compare(
 
     if regressions:
         worse = "dropped" if direction == "higher" else "grew"
-        print(f"\nFAIL: {len(regressions)} wall_clock figure(s) {worse} "
+        print(f"\nFAIL: {len(regressions)} {section} figure(s) {worse} "
               f"beyond {threshold:.0%}: {', '.join(regressions)}",
               file=sys.stderr)
         return 1
@@ -160,6 +175,10 @@ def main(argv=None) -> int:
     parser.add_argument("--select", action="append", metavar="PATTERN",
                         help="fnmatch pattern over dotted wall_clock keys; "
                              "repeatable (default: every numeric leaf)")
+    parser.add_argument("--section", default="wall_clock",
+                        help="dotted top-level subtree to compare "
+                             "(default: wall_clock; e.g. fleet for the "
+                             "deterministic fleet-health payload figures)")
     parser.add_argument("--direction", choices=("higher", "lower"),
                         default="higher",
                         help="which way is good for the selected figures "
@@ -193,7 +212,7 @@ def main(argv=None) -> int:
                   "nothing to compare")
             return 0
     return compare(fresh_doc, base_doc, args.select, args.direction,
-                   args.threshold, args.min_wall)
+                   args.threshold, args.min_wall, section=args.section)
 
 
 if __name__ == "__main__":

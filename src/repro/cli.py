@@ -10,7 +10,11 @@ Usage (``python -m repro <command>``):
 * ``session``  — run a streaming Case 1/2/3 experiment and print the
   summary table (``--trace out.json`` saves a Chrome/Perfetto trace);
 * ``multiclient`` — run N concurrent browsing clients against one shared
-  depot fleet and report per-client + fleet metrics and sim throughput;
+  depot fleet and report per-client + fleet metrics and sim throughput
+  (``--trace out.json`` stitches sharded runs into one merged trace);
+* ``fleet-report`` — traced sharded fleet run rendered as depot load
+  skew, fleet QGR and SLO burn-rate verdict tables, with optional fault
+  injection and flight-recorder dumps;
 * ``trace-report`` — per-access waterfall + per-stage latency table from a
   saved trace file;
 * ``sweep``    — the declarative experiment engine: ``sweep list`` shows
@@ -186,12 +190,14 @@ def cmd_multiclient(args) -> int:
 
     lattice = _lattice_from_args(args)
     source = SyntheticSource(lattice, resolution=args.resolution)
+    tracing = args.trace is not None
     config = MultiClientConfig(
         base=SessionConfig(
             case=args.case,
             n_accesses=args.accesses,
             trace_seed=args.seed,
             network_rebalance=args.rebalance,
+            tracing=tracing,
         ),
         n_clients=args.clients,
         seed_stride=args.seed_stride,
@@ -206,10 +212,26 @@ def cmd_multiclient(args) -> int:
         )
         per_client = sharded.per_client
         agg = sharded.aggregate()
+        if tracing:
+            n = sharded.stitched().write_chrome(args.trace)
+            print(f"wrote {n} merged trace events "
+                  f"({args.shards} shards) -> {args.trace}")
     else:
-        result = run_multiclient_session(source, config)
+        from .obs import write_chrome_trace
+
+        rigs = []
+        result = run_multiclient_session(
+            source, config, rig_hook=rigs.append if tracing else None,
+        )
         per_client = result.per_client
         agg = result.aggregate()
+        if tracing and rigs and rigs[0].tracer is not None:
+            rig = rigs[0]
+            n = write_chrome_trace(
+                rig.tracer, args.trace,
+                metrics_snapshot=rig.obs.snapshot() if rig.obs else None,
+            )
+            print(f"wrote {n} trace events -> {args.trace}")
     rows = []
     for m in per_client:
         s = m.summary()
@@ -237,6 +259,112 @@ def cmd_trace_report(args) -> int:
 
     print(trace_report(str(args.trace), max_accesses=args.accesses,
                        waterfall=not args.no_waterfall))
+    return 0
+
+
+def cmd_fleet_report(args) -> int:
+    from .experiments import format_table
+    from .lightfield import SyntheticSource
+    from .lon.shard import FaultSpec, run_sharded_session
+    from .obs import (
+        LogHistogram,
+        SLOTarget,
+        evaluate_slo,
+        fleet_health,
+        merged_histogram_state,
+        miss_events,
+    )
+    from .streaming import MultiClientConfig, SessionConfig
+
+    lattice = _lattice_from_args(args)
+    source = SyntheticSource(lattice, resolution=args.resolution)
+    config = MultiClientConfig(
+        base=SessionConfig(
+            case=args.case,
+            n_accesses=args.accesses,
+            trace_seed=args.seed,
+            tracing=True,
+        ),
+        n_clients=args.clients,
+        seed_stride=args.seed_stride,
+        start_stagger=args.stagger,
+    )
+    faults: Optional[List[FaultSpec]] = None
+    if args.outage_depot is not None:
+        fault: FaultSpec = {
+            "kind": "depot-outage",
+            "depot": args.outage_depot,
+            "start": args.outage_start,
+            "duration": args.outage_duration,
+        }
+        if args.outage_shard is not None:
+            fault["shard"] = args.outage_shard
+        faults = [fault]
+    sharded = run_sharded_session(
+        source, config, n_shards=args.shards,
+        workers=args.shard_workers, window=args.shard_window,
+        faults=faults,
+        flight_dir=str(args.flight_dir) if args.flight_dir else None,
+    )
+    ft = sharded.stitched()
+    merged = LogHistogram.from_state(merged_histogram_state(
+        [s.telemetry for s in sharded.shards if s.telemetry is not None],
+        "fleet.demand_miss_latency",
+    ))
+    per_client = [m.accesses for m in sharded.per_client]
+    fh = fleet_health(per_client, ft.registry, miss_histogram=merged)
+    slo = evaluate_slo(
+        miss_events(per_client),
+        SLOTarget(threshold_s=args.slo_threshold,
+                  objective=args.slo_objective),
+    )
+    agg = sharded.aggregate()
+
+    print("# fleet report\n")
+    print(format_table(
+        headers=["clients", "shards", "accesses", "QGR",
+                 "miss p50 s", "miss p99 s", "misses"],
+        rows=[[fh.n_clients, len(sharded.shards), fh.accesses,
+               round(fh.qgr, 4), round(fh.demand_miss_p50_s, 6),
+               round(fh.demand_miss_p99_s, 6), fh.misses]],
+    ))
+    print(f"\nsimulated {agg['sim_seconds']} s in {agg['wall_seconds']} s "
+          f"wall ({agg['events_fired']} events, "
+          f"{agg['events_per_second']:.0f} events/s)")
+
+    print("\n## depot load\n")
+    total = sum(d.bytes_served for d in fh.depots) or 1.0
+    print(format_table(
+        headers=["depot", "bytes served", "share", "queue peak"],
+        rows=[[d.name, int(d.bytes_served),
+               f"{d.bytes_served / total:.1%}", int(d.queue_depth_peak)]
+              for d in fh.depots],
+    ))
+    print(f"\nload skew: max/mean {fh.load_skew_max_over_mean:.3f}, "
+          f"gini {fh.load_skew_gini:.3f}")
+
+    print("\n## SLO\n")
+    d = slo.to_dict()
+    print(f"target: {slo.target.objective:.0%} of demand misses under "
+          f"{slo.target.threshold_s} s "
+          f"(error budget {slo.target.error_budget:.3f})")
+    print(f"good fraction {d['good_fraction']}, budget consumed "
+          f"{d['budget_consumed']}x — **{d['verdict']}**\n")
+    print(format_table(
+        headers=["window", "factor", "long burn", "short burn", "firing"],
+        rows=[[f"{w['long_s']:.0f}s/{w['short_s']:.0f}s", w["factor"],
+               w["long_burn"], w["short_burn"],
+               "FIRING" if w["firing"] else "ok"]
+              for w in d["windows"]],
+    ))
+
+    if args.trace is not None:
+        n = ft.write_chrome(args.trace)
+        print(f"\nwrote {n} merged trace events -> {args.trace}")
+    if sharded.flight_dumps:
+        print("\nflight dumps:")
+        for p in sharded.flight_dumps:
+            print(f"  {p}")
     return 0
 
 
@@ -399,7 +527,46 @@ def build_parser() -> argparse.ArgumentParser:
                          "per shard; 1 = sequential reference execution)")
     mc.add_argument("--shard-window", type=float, default=30.0,
                     help="conservative sync window in simulated seconds")
+    mc.add_argument("--trace", type=Path, default=None,
+                    help="run with tracing on and save a Chrome trace JSON; "
+                         "sharded runs stitch every worker's telemetry "
+                         "into one merged artifact")
     mc.set_defaults(func=cmd_multiclient)
+
+    fr = sub.add_parser(
+        "fleet-report",
+        help="traced sharded fleet run -> depot load skew, QGR and "
+             "SLO burn-rate verdicts (markdown)",
+    )
+    fr.add_argument("--clients", type=int, default=8)
+    fr.add_argument("--shards", type=int, default=2)
+    fr.add_argument("--shard-workers", type=int, default=1,
+                    help="worker processes (default 1: sequential)")
+    fr.add_argument("--shard-window", type=float, default=30.0)
+    fr.add_argument("--case", type=int, default=3, choices=[1, 2, 3])
+    fr.add_argument("--resolution", type=int, default=48)
+    fr.add_argument("--accesses", type=int, default=10,
+                    help="view-set accesses per client")
+    fr.add_argument("--seed", type=int, default=7)
+    fr.add_argument("--seed-stride", type=int, default=101)
+    fr.add_argument("--stagger", type=float, default=1.0)
+    fr.add_argument("--lattice", default="9x18x3")
+    fr.add_argument("--slo-threshold", type=float, default=0.25,
+                    help="demand-miss latency bound in seconds")
+    fr.add_argument("--slo-objective", type=float, default=0.95,
+                    help="required good fraction (error budget = 1 - this)")
+    fr.add_argument("--trace", type=Path, default=None,
+                    help="also write the merged Chrome/Perfetto trace here")
+    fr.add_argument("--flight-dir", type=Path, default=None,
+                    help="directory for flight-recorder dumps")
+    fr.add_argument("--outage-depot", default=None,
+                    help="inject a depot outage (e.g. lan-depot-0)")
+    fr.add_argument("--outage-start", type=float, default=10.0,
+                    help="outage onset in simulated seconds")
+    fr.add_argument("--outage-duration", type=float, default=5.0)
+    fr.add_argument("--outage-shard", type=int, default=None,
+                    help="restrict the outage to one shard id")
+    fr.set_defaults(func=cmd_fleet_report)
 
     t = sub.add_parser(
         "trace-report",

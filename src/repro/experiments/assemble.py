@@ -123,10 +123,41 @@ def assemble_scheduling(
 def assemble_observability(
     spec: SweepSpec, rows: List[Row], walls: List[Wall]
 ) -> Assembled:
-    """The single traced-vs-untraced row -> the observability artifact."""
+    """Session + fleet tiers -> the observability artifact.
+
+    The single-session row keeps its historical top-level shape
+    (``resolution``/``case``/``accesses``/``spans`` in the payload,
+    ``untraced_s``/``traced_s``/``ratio`` in the wall section); the fleet
+    tiers land under ``payload["fleet"]["<clients>/<shards>"]`` with their
+    wall costs under ``wall_clock["fleet"]`` keyed the same way.
+    """
     payload: Dict[str, object] = {"benchmark": "observability_overhead"}
-    payload.update(rows[0])
-    return payload, walls[0]
+    wall: Dict[str, object] = {}
+    fleet_rows: Dict[str, Row] = {}
+    fleet_walls: Dict[str, Dict[str, object]] = {}
+    for row, w in zip(rows, walls):
+        if "n_clients" in row:
+            key = f"{row['n_clients']}/{row['n_shards']}"
+            fleet_rows[key] = dict(row)
+            if w is not None:
+                fleet_walls[key] = dict(w)
+        else:
+            payload.update(row)
+            if w is not None:
+                wall.update(w)
+
+    def tier(key: str) -> Tuple[int, int]:
+        clients, shards = key.split("/")
+        return (int(clients), int(shards))
+
+    if fleet_rows:
+        payload["fleet"] = {
+            k: fleet_rows[k] for k in sorted(fleet_rows, key=tier)
+        }
+        wall["fleet"] = {
+            k: fleet_walls[k] for k in sorted(fleet_walls, key=tier)
+        }
+    return payload, (wall or None)
 
 
 # ----------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .artifacts import WALL_CLOCK_KEY, bench_path, payload_fingerprint
 from .config import PAPER
@@ -188,7 +188,7 @@ def _section_scheduling(doc: BenchDoc) -> str:
 def _section_observability(doc: BenchDoc) -> str:
     wall = doc.get(WALL_CLOCK_KEY, {})
     assert isinstance(wall, Mapping)
-    return md_table(
+    parts = [md_table(
         ["metric", "value"],
         [
             ["resolution", doc.get("resolution")],
@@ -198,7 +198,40 @@ def _section_observability(doc: BenchDoc) -> str:
             ["traced s (best of repeats)", wall.get("traced_s")],
             ["traced / untraced", wall.get("ratio")],
         ],
-    )
+    )]
+    fleet = doc.get("fleet")
+    if isinstance(fleet, Mapping) and fleet:
+        fleet_wall = wall.get("fleet", {})
+        assert isinstance(fleet_wall, Mapping)
+        def tier_order(key: str) -> Tuple[int, int]:
+            clients, _, shards = key.partition("/")
+            return (int(clients), int(shards))
+
+        rows = []
+        # the artifact is written with sorted (lexicographic) keys;
+        # render tiers in fleet-size order
+        for key in sorted(fleet, key=tier_order):
+            tier = fleet[key]
+            if not isinstance(tier, Mapping):
+                continue
+            w = fleet_wall.get(key, {})
+            assert isinstance(w, Mapping)
+            rows.append({
+                "clients/shards": key,
+                "QGR": tier.get("qgr"),
+                "miss p99 s": tier.get("demand_miss_p99_s"),
+                "skew max/mean": tier.get("load_skew_max_over_mean"),
+                "skew gini": tier.get("load_skew_gini"),
+                "spans": tier.get("spans"),
+                "traced/untraced": w.get("ratio"),
+            })
+        parts.append("")
+        parts.append("Fleet tiers (pinned rig, stitched telemetry):")
+        parts.append("")
+        parts.append(_rows_table(rows, columns=[
+            "clients/shards", "QGR", "miss p99 s", "skew max/mean",
+            "skew gini", "spans", "traced/untraced"]))
+    return "\n".join(parts)
 
 
 def _section_scale(doc: BenchDoc) -> str:

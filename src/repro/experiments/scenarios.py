@@ -30,6 +30,7 @@ from .config import experiment_lattice
 __all__ = [
     "agent_cache_arm",
     "codec_arm",
+    "fleet_observability_point",
     "generation_kernel_point",
     "generation_viewset_point",
     "generation_zlib_point",
@@ -155,6 +156,91 @@ def observability_point(
         resolution=resolution, case=case, n_accesses=n_accesses,
         repeats=repeats,
     )
+
+
+def fleet_observability_point(
+    n_clients: int,
+    n_shards: int = 8,
+    seed: int = 7,
+    n_accesses: int = 8,
+    repeats: int = 2,
+) -> Row:
+    """One client tier of the fleet observability curve.
+
+    Runs the identical sharded fleet untraced and traced (``workers=1``,
+    the deterministic reference execution), quarantines the wall costs,
+    and reports fleet health off the stitched telemetry: QGR, demand-miss
+    tail latency (from the exact merge of per-shard histograms) and depot
+    load skew.
+
+    The rig is deliberately **pinned** — 9×18 l=3 lattice, resolution 48,
+    modeled CPU — independent of ``REPRO_SCALE``: payload rows must be
+    bit-identical across scales so CI (small) can hold the committed
+    (default-scale) figures to tight drift bounds on the shared client
+    tiers.  Only the tier list in the spec varies with scale.
+    """
+    from ..lon.shard import run_sharded_session
+    from ..obs.fleet import merged_histogram_state
+    from ..obs.health import fleet_health
+    from ..obs.metrics import LogHistogram
+    from ..streaming.multiclient import MultiClientConfig
+
+    source = _source(48, CameraLattice(n_theta=9, n_phi=18, l=3))
+
+    def config(tracing: bool) -> MultiClientConfig:
+        return MultiClientConfig(
+            base=SessionConfig(
+                case=3,
+                n_accesses=n_accesses,
+                trace_seed=seed,
+                cpu_seconds_per_byte=MODELED_CPU_SECONDS_PER_BYTE,
+                tracing=tracing,
+            ),
+            n_clients=n_clients,
+            seed_stride=101,
+            start_stagger=0.25,
+        )
+
+    def run(tracing: bool):
+        with wall_timer() as t:
+            res = run_sharded_session(
+                source, config(tracing), n_shards=n_shards, workers=1,
+            )
+        return t.seconds, res
+
+    untraced = min(run(False)[0] for _ in range(repeats))
+    traced = float("inf")
+    result = None
+    for _ in range(repeats):
+        dt, result = run(True)
+        traced = min(traced, dt)
+    assert result is not None
+    fleet = result.stitched()
+    merged = LogHistogram.from_state(merged_histogram_state(
+        [s.telemetry for s in result.shards if s.telemetry is not None],
+        "fleet.demand_miss_latency",
+    ))
+    per_client = [m.accesses for m in result.per_client]
+    health = fleet_health(per_client, fleet.registry,
+                          miss_histogram=merged)
+    return {
+        "n_clients": n_clients,
+        "n_shards": len(result.shards),
+        "accesses": health.accesses,
+        "spans": len(fleet.spans),
+        "qgr": round(health.qgr, 4),
+        "misses": health.misses,
+        "demand_miss_p50_s": round(health.demand_miss_p50_s, 6),
+        "demand_miss_p99_s": round(health.demand_miss_p99_s, 6),
+        "load_skew_max_over_mean": round(
+            health.load_skew_max_over_mean, 4),
+        "load_skew_gini": round(health.load_skew_gini, 4),
+        WALL_CLOCK_KEY: {
+            "untraced_s": round(untraced, 6),
+            "traced_s": round(traced, 6),
+            "ratio": round(traced / untraced, 4) if untraced else 0.0,
+        },
+    }
 
 
 # ----------------------------------------------------------------------

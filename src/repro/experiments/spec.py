@@ -348,15 +348,24 @@ def builtin_specs() -> Dict[str, SweepSpec]:
             assemble=f"{_A}.assemble_scheduling",
         ),
         # -- observability overhead (BENCH_observability.json) ------------
+        # The session point scales with REPRO_SCALE; the fleet tiers run a
+        # pinned rig (see fleet_observability_point) so shared tiers are
+        # bit-identical across scales — small just runs fewer of them.
         SweepSpec(
             name="observability",
-            title="Observability — traced vs untraced session cost",
+            title="Observability — traced vs untraced cost, "
+                  "session and fleet",
             scenario=f"{_S}.observability_point",
-            fixed={
-                "resolution": 48 if small else 64,
-                "n_accesses": 20 if small else 30,
-                "repeats": 3,
-            },
+            points=(
+                [{
+                    "resolution": 48 if small else 64,
+                    "n_accesses": 20 if small else 30,
+                    "repeats": 3,
+                }]
+                + [{"n_clients": n, "n_shards": 8,
+                    SCENARIO_KEY: f"{_S}.fleet_observability_point"}
+                   for n in ([8, 64] if small else [8, 64, 256])]
+            ),
             artifact="observability",
             assemble=f"{_A}.assemble_observability",
         ),

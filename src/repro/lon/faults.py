@@ -16,13 +16,16 @@ deterministic simulated times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .ibp import Depot
 from .network import Network
 from .simtime import EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.flightrec import FlightRecorder
 
 __all__ = ["DepotOutage", "LeaseStorm", "FlakyLinks"]
 
@@ -35,17 +38,31 @@ class DepotOutage:
     depot_name: str
     neighbor: str
 
-    def schedule(self, queue: EventQueue, start: float, duration: float) -> None:
-        """Arrange the outage at absolute sim time ``start``."""
+    def schedule(
+        self,
+        queue: EventQueue,
+        start: float,
+        duration: float,
+        recorder: Optional["FlightRecorder"] = None,
+    ) -> None:
+        """Arrange the outage at absolute sim time ``start``.
+
+        When a :class:`~repro.obs.flightrec.FlightRecorder` is wired, the
+        outage onset triggers a flight dump — the recorder freezes the
+        spans and samples that preceded the fault, which is the
+        post-mortem's raw material.
+        """
         if duration <= 0:
             raise ValueError("outage duration must be positive")
-        queue.schedule(
-            start,
-            lambda: self.network.set_link_up(
-                self.depot_name, self.neighbor, False
-            ),
-            f"outage-start:{self.depot_name}",
-        )
+
+        def down() -> None:
+            if recorder is not None:
+                recorder.trigger(
+                    f"depot-outage:{self.depot_name}", t=queue.now
+                )
+            self.network.set_link_up(self.depot_name, self.neighbor, False)
+
+        queue.schedule(start, down, f"outage-start:{self.depot_name}")
         queue.schedule(
             start + duration,
             lambda: self.network.set_link_up(

@@ -36,13 +36,24 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..lightfield.source import ViewSetSource
+from ..obs.fleet import FleetTrace, WorkerTelemetry, export_telemetry, stitch
+from ..obs.flightrec import FlightRecorder
 from ..streaming.metrics import SessionMetrics
 from ..streaming.multiclient import (
     MultiClientConfig,
     build_multiclient_rig,
 )
 
+#: plain-data fault spec, picklable into worker processes:
+#: ``{"kind": "depot-outage", "depot": str, "start": float,
+#: "duration": float}`` plus optional ``"neighbor"`` (defaults to the
+#: depot's switch) and ``"shard"`` (restricts injection to one shard —
+#: every shard owns identically-named depot groups, so an unrestricted
+#: fault hits all of them).
+FaultSpec = Dict[str, object]
+
 __all__ = [
+    "FaultSpec",
     "ShardResult",
     "ShardedResult",
     "partition_clients",
@@ -110,6 +121,11 @@ class ShardResult:
     events: Optional[List[EventRecord]] = None
     #: transfer lifecycle records — only when collected
     transfers: Optional[List[TransferRecord]] = None
+    #: this worker's telemetry export (only when the shard ran traced);
+    #: :meth:`ShardedResult.stitched` merges these into one fleet timeline
+    telemetry: Optional[WorkerTelemetry] = None
+    #: flight-recorder dump files written by this shard
+    flight_dumps: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -181,6 +197,29 @@ class ShardedResult:
             out.extend(s.transfers)
         return out
 
+    def stitched(self) -> FleetTrace:
+        """Merge every shard's telemetry into one fleet timeline.
+
+        Requires the run to have been traced (``base.tracing=True``):
+        each shard then exports a :class:`WorkerTelemetry` and the
+        stitcher re-bases ids, annotates spans with their worker, and
+        merges registries with exact histogram merge.
+        """
+        telems: List[WorkerTelemetry] = []
+        for s in self.shards:
+            if s.telemetry is None:
+                raise ValueError(
+                    f"shard {s.shard_id} ran without tracing; "
+                    "enable config.base.tracing to stitch a fleet trace"
+                )
+            telems.append(s.telemetry)
+        return stitch(telems)
+
+    @property
+    def flight_dumps(self) -> List[str]:
+        """Every shard's flight-recorder dump paths, in shard order."""
+        return [p for s in self.shards for p in s.flight_dumps]
+
     def aggregate(self) -> Dict[str, object]:
         """Fleet-level summary in the MultiClientResult.aggregate() shape."""
         accesses = [a for m in self.per_client for a in m.accesses]
@@ -244,13 +283,19 @@ def _global_horizon(
 
 
 def _shard_config(
-    config: MultiClientConfig, start: int, count: int
+    config: MultiClientConfig, start: int, count: int, shard_id: int = 0
 ) -> MultiClientConfig:
-    """The sub-fleet config for one shard (global identity preserved)."""
+    """The sub-fleet config for one shard (global identity preserved).
+
+    The shard's registry namespace (``shard<N>``) keeps its metric names
+    distinct in a merged fleet registry — the same depot group names
+    recur in every shard's rig.
+    """
     return replace(
         config,
         n_clients=count,
         client_index_base=config.client_index_base + start,
+        obs_namespace=f"shard{shard_id}",
     )
 
 
@@ -263,6 +308,8 @@ def run_shard(
     collect_streams: bool = False,
     barrier: Optional[Any] = None,
     horizon: Optional[float] = None,
+    faults: Optional[List[FaultSpec]] = None,
+    flight_dir: Optional[str] = None,
 ) -> ShardResult:
     """Run one shard's rig to completion, window by window.
 
@@ -277,10 +324,39 @@ def run_shard(
     so :func:`run_sharded_session` computes one global horizon and hands
     it to every shard.  ``None`` (standalone use) derives it from this
     shard's own traces.
+
+    ``faults`` are plain-data :data:`FaultSpec` dicts, scheduled before
+    the run; a traced shard attaches a flight recorder so each fault
+    freezes the telemetry that preceded it, and ``flight_dir`` (when
+    given) receives one dump file per trigger.
     """
     from ..analysis.determinism import _attach_collectors
 
     rig = build_multiclient_rig(source, config)
+    worker_label = config.obs_namespace or f"shard{shard_id}"
+    recorder: Optional[FlightRecorder] = None
+    if rig.tracer is not None and (faults or flight_dir is not None):
+        recorder = FlightRecorder(worker=worker_label)
+        recorder.attach(rig.tracer)
+    for fault in faults or ():
+        if "shard" in fault and int(fault["shard"]) != shard_id:  # type: ignore[arg-type]
+            continue
+        kind = str(fault.get("kind", "depot-outage"))
+        if kind != "depot-outage":
+            raise ValueError(f"unknown fault kind {kind!r}")
+        depot = str(fault["depot"])
+        neighbor = str(
+            fault.get("neighbor")
+            or ("lan-switch" if depot.startswith("lan-") else "wan-router")
+        )
+        from .faults import DepotOutage
+
+        DepotOutage(rig.network, depot, neighbor).schedule(
+            rig.queue,
+            float(fault["start"]),  # type: ignore[arg-type]
+            float(fault["duration"]),  # type: ignore[arg-type]
+            recorder=recorder,
+        )
     # synthesize (and cache) every payload up front: dataset generation is
     # not simulation work and must not pollute the wall-time measurement
     for key in source.lattice.all_viewsets():
@@ -315,6 +391,16 @@ def run_shard(
     wall = time.perf_counter() - t0  # repro: allow[SIM001]
     if rig.tracer is not None:
         rig.tracer.finish_open()
+    telemetry: Optional[WorkerTelemetry] = None
+    if rig.tracer is not None:
+        telemetry = export_telemetry(worker_label, rig.tracer, rig.obs)
+    flight_dumps: List[str] = []
+    if recorder is not None:
+        recorder.detach()
+        if flight_dir is not None and recorder.dumps:
+            flight_dumps = recorder.write_dumps(
+                flight_dir, prefix=worker_label
+            )
     for m, agent, staging in zip(
         rig.metrics, rig.client_agents,
         rig.stagings if rig.stagings else [None] * len(rig.metrics),
@@ -353,6 +439,8 @@ def run_shard(
         per_client=list(rig.metrics),
         events=events if collect_streams else None,
         transfers=transfers if collect_streams else None,
+        telemetry=telemetry,
+        flight_dumps=flight_dumps,
     )
 
 
@@ -365,6 +453,8 @@ def _worker(
     collect_streams: bool,
     barrier: Any,
     horizon: float,
+    faults: Optional[List[FaultSpec]],
+    flight_dir: Optional[str],
     out: Any,
 ) -> None:
     """Worker-process entry point: run one shard, ship the result back."""
@@ -373,7 +463,7 @@ def _worker(
             source, config, shard_id,
             settle_seconds=settle_seconds, window=window,
             collect_streams=collect_streams, barrier=barrier,
-            horizon=horizon,
+            horizon=horizon, faults=faults, flight_dir=flight_dir,
         )
         out.put((shard_id, result, None))
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
@@ -389,6 +479,8 @@ def run_sharded_session(
     window: float = DEFAULT_WINDOW,
     collect_streams: bool = False,
     start_method: Optional[str] = None,
+    faults: Optional[List[FaultSpec]] = None,
+    flight_dir: Optional[str] = None,
 ) -> ShardedResult:
     """Partition the fleet into ``n_shards`` rigs and run them all.
 
@@ -397,6 +489,10 @@ def run_sharded_session(
     ``workers=None`` uses one process per shard.  ``start_method``
     prefers ``fork`` (rig state inherited copy-on-write) and falls back
     to ``spawn`` where fork is unavailable.
+
+    ``faults``/``flight_dir`` forward to every shard (see
+    :func:`run_shard`); a fault spec carrying a ``"shard"`` key only
+    fires in that shard.
     """
     blocks = partition_clients(config.n_clients, n_shards)
     if workers is None:
@@ -409,9 +505,11 @@ def run_sharded_session(
     if workers == 1 or len(blocks) == 1:
         shards = [
             run_shard(
-                source, _shard_config(config, start, count), shard_id,
+                source, _shard_config(config, start, count, shard_id),
+                shard_id,
                 settle_seconds=settle_seconds, window=window,
                 collect_streams=collect_streams, horizon=horizon,
+                faults=faults, flight_dir=flight_dir,
             )
             for shard_id, (start, count) in enumerate(blocks)
         ]
@@ -434,9 +532,10 @@ def run_sharded_session(
         p = ctx.Process(
             target=_worker,
             args=(
-                source, _shard_config(config, start, count), shard_id,
+                source, _shard_config(config, start, count, shard_id),
+                shard_id,
                 settle_seconds, window, collect_streams, barrier,
-                horizon, out,
+                horizon, faults, flight_dir, out,
             ),
             name=f"shard-{shard_id}",
         )

@@ -13,7 +13,15 @@ supplies the machinery to record and read that attribution:
 * :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
   NetLogger-style JSONL writers, plus a loader for both;
 * :mod:`~repro.obs.report` — the ``trace-report`` CLI's waterfall and
-  per-stage breakdown tables.
+  per-stage breakdown tables;
+* :mod:`~repro.obs.fleet` — per-worker telemetry export and the fleet
+  stitcher (one merged timeline and registry across shard processes);
+* :mod:`~repro.obs.health` — depot load skew, fleet QGR and demand-miss
+  latency distributions over merged telemetry;
+* :mod:`~repro.obs.slo` — error budgets and multi-window burn-rate
+  evaluation over the demand-miss stream;
+* :mod:`~repro.obs.flightrec` — a bounded ring of recent telemetry,
+  dumped on fault or SLO breach.
 """
 
 from .export import (
@@ -21,6 +29,25 @@ from .export import (
     load_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from .fleet import (
+    FleetTrace,
+    WorkerTelemetry,
+    export_telemetry,
+    merged_histogram_state,
+    stitch,
+)
+from .flightrec import FlightRecorder
+from .health import (
+    DepotStat,
+    FleetHealth,
+    demand_miss_histogram,
+    depot_stats_from_registry,
+    fleet_health,
+    fleet_qgr,
+    gini,
+    load_skew,
+    miss_events,
 )
 from .metrics import (
     Counter,
@@ -36,6 +63,14 @@ from .report import (
     render_waterfall,
     stage_breakdown,
     trace_report,
+)
+from .slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOReport,
+    SLOTarget,
+    WindowVerdict,
+    evaluate_slo,
 )
 from .samplers import (
     CacheSampler,
@@ -84,4 +119,25 @@ __all__ = [
     "render_breakdown_table",
     "render_waterfall",
     "trace_report",
+    "FleetTrace",
+    "WorkerTelemetry",
+    "export_telemetry",
+    "merged_histogram_state",
+    "stitch",
+    "DepotStat",
+    "FleetHealth",
+    "demand_miss_histogram",
+    "depot_stats_from_registry",
+    "fleet_health",
+    "fleet_qgr",
+    "gini",
+    "load_skew",
+    "miss_events",
+    "SLOTarget",
+    "SLOReport",
+    "BurnWindow",
+    "WindowVerdict",
+    "DEFAULT_WINDOWS",
+    "evaluate_slo",
+    "FlightRecorder",
 ]

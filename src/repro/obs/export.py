@@ -164,16 +164,22 @@ def write_chrome_trace(
     tracer_or_spans: Union[Tracer, Iterable[SpanDict]],
     path_or_file: Union[str, os.PathLike, IO[str]],
     metrics_snapshot: Optional[Dict[str, object]] = None,
+    counters: Optional[List[Dict[str, object]]] = None,
+    instants: Optional[List[Dict[str, object]]] = None,
 ) -> int:
-    """Write a Chrome/Perfetto trace file; returns the event count."""
+    """Write a Chrome/Perfetto trace file; returns the event count.
+
+    ``counters``/``instants`` override the tracer's own lists — the fleet
+    stitcher passes merged spans with merged sample streams.
+    """
     if isinstance(tracer_or_spans, Tracer):
         spans = tracer_or_spans.span_dicts()
-        counters = tracer_or_spans.counters
-        instants = tracer_or_spans.instants
+        counters = tracer_or_spans.counters if counters is None else counters
+        instants = tracer_or_spans.instants if instants is None else instants
     else:
         spans = list(tracer_or_spans)
-        counters = []
-        instants = []
+        counters = [] if counters is None else counters
+        instants = [] if instants is None else instants
     events = chrome_trace_events(spans, counters, instants)
     other: Dict[str, object] = {
         "clock": "sim-seconds", "format": "repro.obs/1",

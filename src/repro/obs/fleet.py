@@ -1,0 +1,216 @@
+"""Cross-process fleet telemetry: export per-worker, stitch in the parent.
+
+Shard workers (:mod:`repro.lon.shard`) run their rigs in separate
+processes, so a fleet-scale question — "what was the p99 across 256
+clients?", "which depot served a skewed share of the bytes?" — cannot be
+answered by any single worker's :class:`~repro.obs.tracer.Tracer` or
+:class:`~repro.obs.metrics.MetricsRegistry`.  This module makes workers
+first-class telemetry *sources*:
+
+* :func:`export_telemetry` — snapshot one rig's tracer + registry into a
+  :class:`WorkerTelemetry`: plain picklable data (span dicts, counter and
+  instant samples, full registry state) that crosses the process boundary
+  with the shard result;
+* :func:`stitch` — merge worker exports into one :class:`FleetTrace`:
+  span/trace ids are re-based per worker so they stay unique, every span
+  is annotated with its ``worker``, counter series keep the per-shard
+  namespace their registry stamped at record time, and registries merge
+  with **exact** histogram merge (bit-equal to pooled recording);
+* :meth:`FleetTrace.write_chrome` — one merged Perfetto artifact for the
+  whole fleet.
+
+Per-client namespacing comes from the spans themselves: every access root
+span carries a ``client`` attribute (the console node, globally unique
+across shards), so the stitched timeline attributes every access to both
+its worker and its client.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, List, Optional, Sequence, Union, cast
+
+from .export import write_chrome_trace
+from .metrics import MetricsRegistry
+from .tracer import SpanDict, Tracer
+
+__all__ = [
+    "FleetTrace",
+    "WorkerTelemetry",
+    "export_telemetry",
+    "merged_histogram_state",
+    "stitch",
+]
+
+
+@dataclass
+class WorkerTelemetry:
+    """One worker's complete telemetry export (plain picklable data)."""
+
+    #: stable worker label, e.g. ``"shard0"`` (doubles as the registry
+    #: namespace the worker recorded under)
+    worker: str
+    spans: List[SpanDict] = field(default_factory=list)
+    counters: List[Dict[str, object]] = field(default_factory=list)
+    instants: List[Dict[str, object]] = field(default_factory=list)
+    #: full-fidelity :meth:`MetricsRegistry.export_state` dump
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def max_span_id(self) -> int:
+        return max((int(cast(int, s["span_id"])) for s in self.spans),
+                   default=0)
+
+    @property
+    def max_trace_id(self) -> int:
+        return max((int(cast(int, s["trace_id"])) for s in self.spans),
+                   default=0)
+
+
+def export_telemetry(
+    worker: str,
+    tracer: Optional[Tracer],
+    registry: Optional[MetricsRegistry],
+) -> WorkerTelemetry:
+    """Snapshot a rig's live tracer/registry into picklable telemetry."""
+    return WorkerTelemetry(
+        worker=worker,
+        spans=list(tracer.span_dicts()) if tracer is not None else [],
+        counters=[dict(c) for c in tracer.counters]
+        if tracer is not None else [],
+        instants=[dict(i) for i in tracer.instants]
+        if tracer is not None else [],
+        metrics=registry.export_state() if registry is not None else {},
+    )
+
+
+@dataclass
+class FleetTrace:
+    """The stitched fleet timeline: one span/counter/metric space."""
+
+    workers: List[str]
+    spans: List[SpanDict]
+    counters: List[Dict[str, object]]
+    instants: List[Dict[str, object]]
+    #: merged registry (exact histogram merge across workers)
+    registry: MetricsRegistry
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    def spans_for_worker(self, worker: str) -> List[SpanDict]:
+        """This worker's spans (post-stitch ids)."""
+        return [s for s in self.spans
+                if cast(Dict[str, object],
+                        s.get("attrs") or {}).get("worker") == worker]
+
+    def clients(self) -> List[str]:
+        """Every client node that contributed an access root span."""
+        out = []
+        seen = set()
+        for s in self.spans:
+            attrs = cast(Dict[str, object], s.get("attrs") or {})
+            client = attrs.get("client")
+            if client is not None and client not in seen:
+                seen.add(client)
+                out.append(str(client))
+        return out
+
+    def write_chrome(
+        self, path_or_file: Union[str, os.PathLike, IO[str]]
+    ) -> int:
+        """Write the merged Perfetto artifact; returns the event count."""
+        return write_chrome_trace(
+            self.spans, path_or_file,
+            metrics_snapshot=cast(
+                Dict[str, object],
+                {
+                    **self.registry.snapshot(),
+                    "fleet_workers": list(self.workers),
+                },
+            ),
+            counters=self.counters,
+            instants=self.instants,
+        )
+
+
+def stitch(telemetries: Iterable[WorkerTelemetry]) -> FleetTrace:
+    """Merge worker exports into one fleet timeline.
+
+    Ids are re-based deterministically in worker order: worker *k*'s
+    span/trace ids are shifted past the running maximum of workers
+    ``0..k-1``, so the merged id space is collision-free and a given
+    (worker order, telemetry) input always stitches to the identical
+    output.  Spans gain a ``worker`` attribute; counters and instants are
+    concatenated (their series names already carry the worker's registry
+    namespace); registries merge via exact histogram merge.
+    """
+    telems = list(telemetries)
+    workers = [t.worker for t in telems]
+    if len(set(workers)) != len(workers):
+        raise ValueError(f"duplicate worker labels: {workers}")
+    spans: List[SpanDict] = []
+    counters: List[Dict[str, object]] = []
+    instants: List[Dict[str, object]] = []
+    registry = MetricsRegistry(namespace="fleet")
+    span_base = 0
+    trace_base = 0
+    for t in telems:
+        for s in t.spans:
+            out = dict(s)
+            out["span_id"] = int(cast(int, s["span_id"])) + span_base
+            out["trace_id"] = int(cast(int, s["trace_id"])) + trace_base
+            parent = s.get("parent_id")
+            out["parent_id"] = (None if parent is None
+                                else int(cast(int, parent)) + span_base)
+            attrs = dict(cast(Dict[str, object], s.get("attrs") or {}))
+            attrs["worker"] = t.worker
+            out["attrs"] = attrs
+            spans.append(cast(SpanDict, out))
+        counters.extend(dict(c) for c in t.counters)
+        instants.extend(dict(i) for i in t.instants)
+        if t.metrics:
+            registry.merge_state(t.metrics)
+        span_base += t.max_span_id
+        trace_base += t.max_trace_id
+    spans.sort(key=lambda s: (cast(float, s["start"]),
+                              cast(int, s["span_id"])))
+    counters.sort(key=lambda c: (cast(float, c["t"]), str(c["name"])))
+    instants.sort(key=lambda i: (cast(float, i["t"]), str(i["name"])))
+    return FleetTrace(
+        workers=workers,
+        spans=spans,
+        counters=counters,
+        instants=instants,
+        registry=registry,
+    )
+
+
+def merged_histogram_state(
+    telemetries: Sequence[WorkerTelemetry], name_suffix: str
+) -> Dict[str, object]:
+    """Merge the per-worker histograms whose name ends with a suffix.
+
+    Convenience for fleet health: each worker records e.g.
+    ``shard3.fleet.demand_miss_latency``; this returns the exact merge of
+    every such histogram as a :meth:`LogHistogram.to_state` dict.
+    """
+    from .metrics import LogHistogram
+
+    merged: Optional[LogHistogram] = None
+    for t in telemetries:
+        hists = cast(Dict[str, Dict[str, object]],
+                     t.metrics.get("histograms", {}))
+        for name, state in sorted(hists.items()):
+            if not name.endswith(name_suffix):
+                continue
+            if merged is None:
+                merged = LogHistogram.from_state(state)
+                merged.name = name_suffix
+            else:
+                merged.merge(LogHistogram.from_state(state))
+    if merged is None:
+        merged = LogHistogram(name_suffix)
+    return merged.to_state()

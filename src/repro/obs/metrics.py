@@ -9,13 +9,29 @@ across the whole range, and derives p50/p95/p99 from the bucket counts.
 The registry is intentionally tiny: metrics are named with a flat string
 (dots as conventional separators, e.g. ``"link.wan.utilization"``) and
 created on first touch, so instrumentation sites never need set-up code.
+
+Two fleet-scale additions ride on that simplicity:
+
+* **namespaces** — a registry constructed with ``namespace="shard3"``
+  transparently prefixes every metric name at the factory methods
+  (``counter``/``gauge``/``histogram``), so shard workers and multi-client
+  rigs get collision-free series without any caller-side naming
+  conventions;
+* **mergeable state** — :meth:`MetricsRegistry.export_state` produces a
+  plain-data (picklable, JSON-able) dump with *full* histogram bucket
+  state, and :meth:`MetricsRegistry.merge_state` folds such a dump into a
+  live registry.  Histogram merge is **exact**: quantiles depend only on
+  integer bucket counts, the under/overflow tallies, the total and the
+  observed extrema, all of which combine losslessly, so merging per-shard
+  histograms is bit-equal to having pooled every sample into one
+  histogram (``tests/obs/test_fleet.py`` proves this property).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, TypedDict
+from typing import Dict, List, Optional, Tuple, TypedDict, cast
 
 __all__ = [
     "Counter",
@@ -108,6 +124,7 @@ class LogHistogram:
         self.name = name
         self.lo = lo
         self.hi = hi
+        self.buckets_per_decade = buckets_per_decade
         self.growth = 10.0 ** (1.0 / buckets_per_decade)
         n = int(math.ceil(
             math.log(hi / lo) / math.log(self.growth) - 1e-9))
@@ -174,6 +191,88 @@ class LogHistogram:
             "p99": self.quantile(0.99),
         }
 
+    # ------------------------------------------------------------------
+    # fleet merge + serialization
+    # ------------------------------------------------------------------
+    def compatible_with(self, other: "LogHistogram") -> bool:
+        """True when both histograms share one bucket layout."""
+        return (self.lo == other.lo and self.hi == other.hi
+                and self.buckets_per_decade == other.buckets_per_decade)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other``'s samples into this histogram, exactly.
+
+        Counts, the under/overflow tallies and the total are integers and
+        simply add; ``min_seen``/``max_seen`` combine by min/max.  Every
+        input :meth:`quantile` reads — counts, underflow, total,
+        ``max_seen``, the bucket edges — is therefore *identical* to the
+        state a single histogram fed the pooled sample stream would hold,
+        so merged quantiles are bit-equal to pooled quantiles.  Only
+        ``sum`` (hence ``mean``) may differ in the last ulp, because float
+        addition is not associative.
+        """
+        if not self.compatible_with(other):
+            raise ValueError(
+                f"cannot merge {other.name!r} into {self.name!r}: bucket "
+                f"layouts differ ({other.lo}, {other.hi}, "
+                f"{other.buckets_per_decade}) vs ({self.lo}, {self.hi}, "
+                f"{self.buckets_per_decade})"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.total += other.total
+        self.sum += other.sum
+        if other.min_seen < self.min_seen:
+            self.min_seen = other.min_seen
+        if other.max_seen > self.max_seen:
+            self.max_seen = other.max_seen
+        return self
+
+    def to_state(self) -> Dict[str, object]:
+        """Full-fidelity plain-data dump (picklable / JSON-able)."""
+        return {
+            "name": self.name,
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_decade": self.buckets_per_decade,
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "total": self.total,
+            "sum": self.sum,
+            # infinities are not JSON; sentinel None for the empty case
+            "min_seen": None if self.total == 0 else self.min_seen,
+            "max_seen": None if self.total == 0 else self.max_seen,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`to_state` output, losslessly."""
+        h = cls(
+            str(state["name"]),
+            lo=float(state["lo"]),  # type: ignore[arg-type]
+            hi=float(state["hi"]),  # type: ignore[arg-type]
+            buckets_per_decade=int(state["buckets_per_decade"]),  # type: ignore[call-overload]
+        )
+        counts = list(state["counts"])  # type: ignore[call-overload]
+        if len(counts) != len(h.counts):
+            raise ValueError(
+                f"histogram state for {h.name!r} has {len(counts)} buckets, "
+                f"layout expects {len(h.counts)}"
+            )
+        h.counts = [int(c) for c in counts]
+        h.underflow = int(state["underflow"])  # type: ignore[call-overload]
+        h.overflow = int(state["overflow"])  # type: ignore[call-overload]
+        h.total = int(state["total"])  # type: ignore[call-overload]
+        h.sum = float(state["sum"])  # type: ignore[arg-type]
+        if state.get("min_seen") is not None:
+            h.min_seen = float(state["min_seen"])  # type: ignore[arg-type]
+        if state.get("max_seen") is not None:
+            h.max_seen = float(state["max_seen"])  # type: ignore[arg-type]
+        return h
+
     def nonzero_buckets(self) -> List[Tuple[float, float, int]]:
         """(lower, upper, count) for populated buckets — compact export."""
         out: List[Tuple[float, float, int]] = []
@@ -186,31 +285,50 @@ class LogHistogram:
 
 
 class MetricsRegistry:
-    """Flat namespace of metrics, created on first use."""
+    """Flat namespace of metrics, created on first use.
 
-    def __init__(self) -> None:
+    ``namespace`` (e.g. ``"shard3"``) is prefixed onto every metric name
+    at the factory methods, so instrumentation sites keep using bare
+    series names (``"depot.lan-depot-0.bytes_served"``) while shard
+    workers and multi-client rigs get globally unique, collision-free
+    series — the explicit replacement for caller-side prefix conventions.
+    """
+
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, LogHistogram] = {}
 
+    def qualify(self, name: str) -> str:
+        """The fully-qualified series name this registry stores under."""
+        return f"{self.namespace}.{name}" if self.namespace else name
+
     def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
+        return self._counter_full(self.qualify(name))
+
+    def _counter_full(self, full: str) -> Counter:
+        c = self._counters.get(full)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            c = self._counters[full] = Counter(full)
         return c
 
     def gauge(self, name: str) -> Gauge:
-        g = self._gauges.get(name)
+        return self._gauge_full(self.qualify(name))
+
+    def _gauge_full(self, full: str) -> Gauge:
+        g = self._gauges.get(full)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            g = self._gauges[full] = Gauge(full)
         return g
 
     def histogram(self, name: str, lo: float = 1e-4, hi: float = 1.0,
                   buckets_per_decade: int = 10) -> LogHistogram:
-        h = self._histograms.get(name)
+        full = self.qualify(name)
+        h = self._histograms.get(full)
         if h is None:
-            h = self._histograms[name] = LogHistogram(
-                name, lo=lo, hi=hi, buckets_per_decade=buckets_per_decade)
+            h = self._histograms[full] = LogHistogram(
+                full, lo=lo, hi=hi, buckets_per_decade=buckets_per_decade)
         return h
 
     # ------------------------------------------------------------------
@@ -251,3 +369,79 @@ class MetricsRegistry:
                 "p99": pct["p99"],
             }
         return out
+
+    # ------------------------------------------------------------------
+    # cross-process export / merge (the fleet telemetry plane)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Full-fidelity plain-data dump of every metric.
+
+        Unlike :meth:`snapshot` (a lossy summary for humans and report
+        tables), this keeps complete histogram bucket state so a parent
+        process can :meth:`merge_state` shard dumps and recover quantiles
+        bit-equal to pooled recording.  Names are stored fully qualified.
+        """
+        return {
+            "namespace": self.namespace,
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": g.value,
+                    "min_seen": None if g.samples == 0 else g.min_seen,
+                    "max_seen": None if g.samples == 0 else g.max_seen,
+                    "samples": g.samples,
+                }
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.to_state()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`export_state` output."""
+        reg = cls(namespace=str(state.get("namespace", "")))
+        reg.merge_state(state)
+        return reg
+
+    def merge_state(self, state: Dict[str, object]) -> "MetricsRegistry":
+        """Fold an :meth:`export_state` dump into this registry.
+
+        Metric names in the dump are already fully qualified, so they are
+        *not* re-prefixed by this registry's namespace; counters add,
+        gauges combine min/max/samples (last write wins on ``value``, in
+        merge-call order), histograms merge exactly.
+        """
+        for name, value in sorted(
+            cast(Dict[str, float], state.get("counters", {})).items()
+        ):
+            self._counter_full(name).inc(float(value))
+        for name, rec in sorted(
+            cast(Dict[str, Dict[str, object]],
+                 state.get("gauges", {})).items()
+        ):
+            g = self._gauge_full(name)
+            samples = int(rec.get("samples", 0))  # type: ignore[call-overload]
+            if samples == 0:
+                continue
+            g.value = float(rec["value"])  # type: ignore[arg-type]
+            g.samples += samples
+            if rec.get("min_seen") is not None:
+                g.min_seen = min(g.min_seen, float(rec["min_seen"]))  # type: ignore[arg-type]
+            if rec.get("max_seen") is not None:
+                g.max_seen = max(g.max_seen, float(rec["max_seen"]))  # type: ignore[arg-type]
+        for name, h_state in sorted(
+            cast(Dict[str, Dict[str, object]],
+                 state.get("histograms", {})).items()
+        ):
+            incoming = LogHistogram.from_state(h_state)
+            existing = self._histograms.get(name)
+            if existing is None:
+                self._histograms[name] = incoming
+            else:
+                existing.merge(incoming)
+        return self

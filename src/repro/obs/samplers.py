@@ -92,9 +92,16 @@ class PeriodicSampler:
         )
 
     def emit(self, series: str, value: float) -> None:
-        """Record one sample into both the registry and the trace."""
-        self.registry.gauge(series).set(value)
-        self.tracer.counter(series, value)
+        """Record one sample into both the registry and the trace.
+
+        The registry qualifies ``series`` with its namespace; the trace
+        counter reuses the gauge's *qualified* name so both views of the
+        series agree — callers never prepend shard/worker prefixes by
+        hand, the registry namespace is the single source of naming.
+        """
+        gauge = self.registry.gauge(series)
+        gauge.set(value)
+        self.tracer.counter(gauge.name, value)
 
     def sample(self) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -1,0 +1,217 @@
+"""SLO engine: error budgets and multi-window burn rates over sim time.
+
+The fleet's interactivity promise is availability-shaped: "at least
+``objective`` of demand misses complete under ``threshold_s``".  The
+complement of the objective is the **error budget**, and the operative
+question is not "is the budget gone?" but "how fast is it burning?" —
+the multi-window, multi-burn-rate pattern from the SRE literature:
+an alert fires only when *both* a long window (sustained problem, not a
+blip) and a short window (still happening now, not an old scar) burn
+budget faster than the window's ``factor``.
+
+Everything here runs over **simulated** time: events are
+``(completion_time, latency)`` pairs from
+:func:`repro.obs.health.miss_events`, windows are simulated-second
+spans anchored at the evaluation horizon, and the whole evaluation is a
+pure deterministic function of its inputs — so SLO verdicts are part of
+the reproducible artifact surface, not a monitoring side-channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BurnWindow",
+    "SLOTarget",
+    "SLOReport",
+    "WindowVerdict",
+    "DEFAULT_WINDOWS",
+    "evaluate_slo",
+]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One service-level objective over demand-miss latency."""
+
+    name: str = "demand-miss-interactivity"
+    #: a miss is "good" when its latency is strictly under this bound
+    threshold_s: float = 0.25
+    #: required good fraction; the error budget is ``1 - objective``
+    objective: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """A (long, short) window pair with its firing burn-rate factor."""
+
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.short_s <= self.long_s:
+            raise ValueError("need 0 < short_s <= long_s")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+
+#: the classic page/ticket ladder, rescaled to session-sized sim horizons:
+#: a fast burn caught within ~a minute, a slow burn over several minutes
+DEFAULT_WINDOWS = (
+    BurnWindow(long_s=60.0, short_s=5.0, factor=14.4),
+    BurnWindow(long_s=360.0, short_s=30.0, factor=6.0),
+)
+
+
+@dataclass
+class WindowVerdict:
+    """One burn-window evaluation."""
+
+    long_s: float
+    short_s: float
+    factor: float
+    long_burn: float
+    short_burn: float
+    long_events: int
+    short_events: int
+    firing: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "long_s": self.long_s,
+            "short_s": self.short_s,
+            "factor": self.factor,
+            "long_burn": round(self.long_burn, 4),
+            "short_burn": round(self.short_burn, 4),
+            "long_events": self.long_events,
+            "short_events": self.short_events,
+            "firing": self.firing,
+        }
+
+
+@dataclass
+class SLOReport:
+    """The full SLO evaluation for one target."""
+
+    target: SLOTarget
+    horizon: float
+    events: int
+    bad_events: int
+    good_fraction: float
+    #: fraction of the whole-run error budget consumed (can exceed 1.0)
+    budget_consumed: float
+    windows: List[WindowVerdict] = field(default_factory=list)
+
+    @property
+    def breached(self) -> bool:
+        """True when any window pair fires (sustained + current burn)."""
+        return any(w.firing for w in self.windows)
+
+    @property
+    def verdict(self) -> str:
+        return "BREACH" if self.breached else "OK"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.target.name,
+            "threshold_s": self.target.threshold_s,
+            "objective": self.target.objective,
+            "error_budget": round(self.target.error_budget, 6),
+            "horizon_s": round(self.horizon, 4),
+            "events": self.events,
+            "bad_events": self.bad_events,
+            "good_fraction": round(self.good_fraction, 4),
+            "budget_consumed": round(self.budget_consumed, 4),
+            "verdict": self.verdict,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+
+def _burn_rate(
+    events: Sequence[Tuple[float, float]],
+    threshold_s: float,
+    budget: float,
+    start: float,
+    end: float,
+) -> Tuple[float, int]:
+    """(burn rate, event count) over completions in ``(start, end]``.
+
+    Burn rate is the window's bad fraction over the error budget: 1.0
+    means "burning exactly at the sustainable rate"; an empty window
+    burns nothing.
+    """
+    n = bad = 0
+    for t, latency in events:
+        if start < t <= end:
+            n += 1
+            if latency >= threshold_s:
+                bad += 1
+    if n == 0:
+        return 0.0, 0
+    return (bad / n) / budget, n
+
+
+def evaluate_slo(
+    events: Sequence[Tuple[float, float]],
+    target: SLOTarget = SLOTarget(),
+    windows: Sequence[BurnWindow] = DEFAULT_WINDOWS,
+    horizon: Optional[float] = None,
+) -> SLOReport:
+    """Evaluate one SLO over ``(completion_time, latency)`` events.
+
+    ``horizon`` anchors the window ends (default: the last event's
+    completion time).  Windows longer than the horizon clamp to the run
+    start — early in a run the long window *is* the whole run, which is
+    the correct conservative reading.
+    """
+    evs = sorted(events)
+    if horizon is None:
+        horizon = evs[-1][0] if evs else 0.0
+    n = len(evs)
+    bad = sum(1 for _, latency in evs if latency >= target.threshold_s)
+    good_fraction = (n - bad) / n if n else 1.0
+    budget = target.error_budget
+    budget_consumed = ((bad / n) / budget) if n else 0.0
+
+    verdicts: List[WindowVerdict] = []
+    for w in windows:
+        long_burn, long_n = _burn_rate(
+            evs, target.threshold_s, budget,
+            max(0.0, horizon - w.long_s), horizon,
+        )
+        short_burn, short_n = _burn_rate(
+            evs, target.threshold_s, budget,
+            max(0.0, horizon - w.short_s), horizon,
+        )
+        verdicts.append(WindowVerdict(
+            long_s=w.long_s,
+            short_s=w.short_s,
+            factor=w.factor,
+            long_burn=long_burn,
+            short_burn=short_burn,
+            long_events=long_n,
+            short_events=short_n,
+            firing=(long_burn >= w.factor and short_burn >= w.factor),
+        ))
+    return SLOReport(
+        target=target,
+        horizon=horizon,
+        events=n,
+        bad_events=bad,
+        good_fraction=good_fraction,
+        budget_consumed=budget_consumed,
+        windows=verdicts,
+    )

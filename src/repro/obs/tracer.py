@@ -152,6 +152,8 @@ class Span:
             self.end = self.tracer.now if t is None else t
             if self.end < self.start:
                 self.end = self.start
+            if self.tracer._listeners:
+                self.tracer._notify("span", self)
         return self
 
     def child(self, name: str, t: Optional[float] = None,
@@ -244,6 +246,29 @@ class Tracer:
         self.instants: List[Dict[str, object]] = []
         self._next_span_id = 1
         self._next_trace_id = 1
+        #: finish/instant/counter listeners (the flight recorder's hook);
+        #: hot paths pay one truthiness check while the list stays empty
+        self._listeners: List[Callable[[str, object], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_listener(self, fn: Callable[[str, object], None]) -> None:
+        """Subscribe to telemetry as it lands.
+
+        ``fn(kind, payload)`` is called with ``("span", Span)`` when a span
+        closes, ``("instant", dict)`` and ``("counter", dict)`` as those
+        are recorded.  Listeners must not mutate the payload.
+        """
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[str, object], None]) -> None:
+        """Unsubscribe (no-op when not subscribed)."""
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
+    def _notify(self, kind: str, payload: object) -> None:
+        for fn in self._listeners:
+            fn(kind, payload)
 
     # ------------------------------------------------------------------
     @property
@@ -335,17 +360,22 @@ class Tracer:
         if attrs:
             ev.update(attrs)
         self.instants.append(ev)
+        if self._listeners:
+            self._notify("instant", ev)
 
     def counter(self, name: str, value: float,
                 t: Optional[float] = None) -> None:
         """One sample of a named time series (samplers feed these)."""
         if not self.enabled:
             return
-        self.counters.append({
+        sample = {
             "name": name,
             "t": self.now if t is None else t,
             "value": value,
-        })
+        }
+        self.counters.append(sample)
+        if self._listeners:
+            self._notify("counter", sample)
 
     # ------------------------------------------------------------------
     def finish_open(self, t: Optional[float] = None) -> int:

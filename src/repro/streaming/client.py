@@ -178,6 +178,7 @@ class Client:
                 root = self.tracer.record(
                     f"access:{vid}", t0, t0 + RESIDENT_SWAP_LATENCY,
                     category="access", index=index, viewset=vid,
+                    client=self.node,
                     source=AccessSource.CLIENT_RESIDENT.value,
                     total_latency=RESIDENT_SWAP_LATENCY,
                 )
@@ -198,7 +199,7 @@ class Client:
             )
             return
         root = self.tracer.begin(f"access:{vid}", t=t0, category="access",
-                                 index=index, viewset=vid)
+                                 index=index, viewset=vid, client=self.node)
         if self.tracer.enabled:
             self._access_spans[index] = root
         pending = self._outstanding.get(vid)

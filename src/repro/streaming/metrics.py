@@ -113,6 +113,15 @@ class SessionMetrics:
             raise ValueError(f"duplicate access index {rec.index}")
         self._seen_indices.add(rec.index)
         insort(self.accesses, rec, key=lambda a: a.index)
+        if self.obs is not None:
+            # mergeable latency distributions: the registry's namespace
+            # (one per shard worker) keeps fleet-wide merges collision-free
+            self.obs.histogram("fleet.access_latency").observe(
+                rec.total_latency)
+            if rec.source not in (AccessSource.AGENT_CACHE,
+                                  AccessSource.CLIENT_RESIDENT):
+                self.obs.histogram("fleet.demand_miss_latency").observe(
+                    rec.total_latency)
 
     def _pool(self, upto: Optional[int]) -> List[AccessRecord]:
         """Accesses with ``index <= upto`` (all of them when None).

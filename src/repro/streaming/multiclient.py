@@ -79,6 +79,10 @@ class MultiClientConfig:
     #: by the global index keeps every client's identity and timing
     #: identical to its single-rig incarnation.
     client_index_base: int = 0
+    #: metric namespace for this rig's registry (e.g. ``"shard3"``): every
+    #: gauge/histogram name is prefixed at the factory, so telemetry from
+    #: many rigs merges without collisions.  Empty = unnamespaced.
+    obs_namespace: str = ""
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
@@ -212,7 +216,7 @@ def build_multiclient_rig(
     obs: Optional[MetricsRegistry] = None
     if base.tracing:
         tracer = Tracer(queue.clock, enabled=True)
-        obs = MetricsRegistry()
+        obs = MetricsRegistry(namespace=config.obs_namespace)
     scheduler = TransferScheduler(
         net, policy=base.scheduling_policy, tracer=tracer,
     )

@@ -87,6 +87,67 @@ class TestSession:
         assert "hit rate" in out
 
 
+class TestMulticlientTrace:
+    def test_unsharded_trace_artifact(self, tmp_path, capsys):
+        trace = tmp_path / "mc.json"
+        rc = main([
+            "multiclient", "--clients", "3", "--accesses", "6",
+            "--resolution", "32", "--lattice", "6x12x3",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        import json
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+
+    def test_sharded_trace_is_stitched(self, tmp_path):
+        trace = tmp_path / "fleet.json"
+        rc = main([
+            "multiclient", "--clients", "4", "--accesses", "6",
+            "--resolution", "32", "--lattice", "6x12x3",
+            "--shards", "2", "--trace", str(trace),
+        ])
+        assert rc == 0
+        import json
+        doc = json.loads(trace.read_text())
+        workers = {e["args"]["worker"] for e in doc["traceEvents"]
+                   if e.get("ph") == "X"
+                   and "worker" in e.get("args", {})}
+        assert workers == {"shard0", "shard1"}
+
+
+class TestFleetReport:
+    def test_report_sections_and_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "fleet.json"
+        flight = tmp_path / "flight"
+        rc = main([
+            "fleet-report", "--clients", "4", "--shards", "2",
+            "--accesses", "8", "--resolution", "32",
+            "--lattice", "6x12x3",
+            "--outage-depot", "lan-depot-0", "--outage-shard", "0",
+            "--trace", str(trace), "--flight-dir", str(flight),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# fleet report" in out
+        assert "## depot load" in out
+        assert "## SLO" in out
+        assert "load skew" in out
+        assert trace.exists()
+        assert list(flight.glob("flight-shard0-*.json"))
+
+    def test_report_without_fault_or_trace(self, capsys):
+        rc = main([
+            "fleet-report", "--clients", "2", "--shards", "2",
+            "--accesses", "8", "--resolution", "32",
+            "--lattice", "6x12x3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "QGR" in out
+        assert "flight dumps" not in out
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,120 @@
+"""Flight recorder: bounded rings, listener wiring, dump contents."""
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder, Tracer
+
+
+def _tracer():
+    return Tracer(clock=lambda: 0.0)
+
+
+def _span(tracer, name, start, end, **attrs):
+    tracer.begin(name, t=start, **attrs).finish(t=end)
+
+
+class TestRing:
+    def test_capacity_evicts_oldest_spans(self):
+        tracer = _tracer()
+        rec = FlightRecorder(capacity=4).attach(tracer)
+        for i in range(10):
+            _span(tracer, f"s{i}", float(i), i + 0.5)
+        assert rec.span_count == 4
+        dump = rec.trigger("test")
+        assert [s["name"] for s in dump["spans"]] == ["s6", "s7", "s8", "s9"]
+
+    def test_counter_ring_is_four_times_capacity(self):
+        tracer = _tracer()
+        rec = FlightRecorder(capacity=2).attach(tracer)
+        for i in range(20):
+            tracer.counter("q", float(i), t=float(i))
+        dump = rec.trigger("test")
+        assert len(dump["counters"]) == 8
+        assert dump["counters"][0]["value"] == 12.0
+
+    def test_instants_ride_in_counter_ring(self):
+        tracer = _tracer()
+        rec = FlightRecorder(capacity=8).attach(tracer)
+        tracer.instant("fault", t=1.0)
+        dump = rec.trigger("test")
+        assert [c["name"] for c in dump["counters"]] == ["fault"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestListenerWiring:
+    def test_only_finished_spans_are_buffered(self):
+        tracer = _tracer()
+        rec = FlightRecorder().attach(tracer)
+        tracer.begin("open", t=0.0)  # never finished
+        _span(tracer, "closed", 0.0, 1.0)
+        assert rec.span_count == 1
+
+    def test_detach_stops_recording(self):
+        tracer = _tracer()
+        rec = FlightRecorder().attach(tracer)
+        _span(tracer, "before", 0.0, 1.0)
+        rec.detach()
+        _span(tracer, "after", 2.0, 3.0)
+        assert rec.span_count == 1
+        assert tracer._listeners == []
+
+    def test_reattach_moves_to_new_tracer(self):
+        t1, t2 = _tracer(), _tracer()
+        rec = FlightRecorder().attach(t1)
+        rec.attach(t2)
+        assert t1._listeners == []
+        _span(t2, "s", 0.0, 1.0)
+        assert rec.span_count == 1
+
+
+class TestTrigger:
+    def test_dump_includes_open_spans_marked(self):
+        tracer = _tracer()
+        rec = FlightRecorder(worker="shard3").attach(tracer)
+        _span(tracer, "done", 0.0, 1.0)
+        tracer.begin("interrupted", t=2.0)
+        dump = rec.trigger("depot-outage:d0", t=2.5)
+        assert dump["format"] == "repro.flight/1"
+        assert dump["worker"] == "shard3"
+        assert dump["t"] == 2.5
+        (open_span,) = dump["open_spans"]
+        assert open_span["name"] == "interrupted"
+        assert open_span["open"] is True
+
+    def test_trigger_time_defaults_to_latest_end(self):
+        tracer = _tracer()
+        rec = FlightRecorder().attach(tracer)
+        _span(tracer, "a", 0.0, 1.0)
+        _span(tracer, "b", 0.5, 4.0)
+        assert rec.trigger("x")["t"] == 4.0
+
+    def test_dumps_accumulate_and_ring_keeps_recording(self):
+        tracer = _tracer()
+        rec = FlightRecorder().attach(tracer)
+        _span(tracer, "a", 0.0, 1.0)
+        rec.trigger("first")
+        _span(tracer, "b", 2.0, 3.0)
+        rec.trigger("second")
+        assert len(rec.dumps) == 2
+        assert len(rec.dumps[1]["spans"]) == 2
+
+    def test_write_dumps_filenames_and_content(self, tmp_path):
+        tracer = _tracer()
+        rec = FlightRecorder(worker="shard1").attach(tracer)
+        _span(tracer, "s", 0.0, 1.0)
+        rec.trigger("depot-outage:lan-depot-0")
+        rec.trigger("slo breach!")
+        paths = rec.write_dumps(str(tmp_path), prefix="shard1")
+        names = [p.rsplit("/", 1)[-1] for p in paths]
+        assert names == [
+            "flight-shard1-0-depot-outage-lan-depot-0.json",
+            "flight-shard1-1-slo-breach-.json",
+        ]
+        doc = json.loads((tmp_path / names[0]).read_text())
+        assert doc["format"] == "repro.flight/1"
+        assert doc["spans"][0]["name"] == "s"

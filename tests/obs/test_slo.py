@@ -1,0 +1,120 @@
+"""SLO engine: error budgets and multi-window burn-rate evaluation."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOTarget,
+    evaluate_slo,
+)
+
+
+def _events(horizon, n, bad_fraction, latency_bad=1.0, latency_good=0.01):
+    """n evenly spaced completions ending at ``horizon``."""
+    out = []
+    n_bad = round(n * bad_fraction)
+    for i in range(n):
+        t = horizon * (i + 1) / n
+        lat = latency_bad if i < n_bad else latency_good
+        out.append((t, lat))
+    return out
+
+
+class TestTargets:
+    def test_error_budget_is_objective_complement(self):
+        assert SLOTarget(objective=0.95).error_budget == pytest.approx(0.05)
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SLOTarget(objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTarget(objective=0.0)
+        with pytest.raises(ValueError):
+            SLOTarget(threshold_s=0.0)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=10.0, short_s=20.0, factor=1.0)
+        with pytest.raises(ValueError):
+            BurnWindow(long_s=10.0, short_s=5.0, factor=0.0)
+
+
+class TestEvaluate:
+    def test_empty_events_are_ok(self):
+        report = evaluate_slo([])
+        assert report.events == 0
+        assert report.good_fraction == 1.0
+        assert report.verdict == "OK"
+        assert not report.breached
+
+    def test_all_good_never_fires(self):
+        report = evaluate_slo(_events(400.0, 100, bad_fraction=0.0))
+        assert report.bad_events == 0
+        assert report.budget_consumed == 0.0
+        assert all(not w.firing for w in report.windows)
+
+    def test_sustained_total_failure_breaches(self):
+        # every miss over threshold: burn = 1/budget = 20x, above both
+        # default factors in both long and short windows
+        report = evaluate_slo(_events(400.0, 400, bad_fraction=1.0))
+        assert report.good_fraction == 0.0
+        assert report.breached
+        assert report.verdict == "BREACH"
+
+    def test_old_scar_does_not_fire_short_window(self):
+        # all bad events complete early; the short window at the horizon
+        # is clean, so the two-window AND keeps the alert quiet
+        bad = [(t, 1.0) for t in (1.0, 2.0, 3.0)]
+        good = [(t, 0.01) for t in (398.0, 399.0, 400.0)]
+        report = evaluate_slo(bad + good, windows=[
+            BurnWindow(long_s=400.0, short_s=5.0, factor=2.0)])
+        (w,) = report.windows
+        assert w.long_burn >= 2.0
+        assert w.short_burn == 0.0
+        assert not w.firing
+
+    def test_burn_needs_both_windows(self):
+        # bad only in the last instant: short window burns hot, but the
+        # long window dilutes it below the factor -> no page
+        good = [(float(t), 0.01) for t in range(1, 100)]
+        bad = [(100.0, 1.0)]
+        report = evaluate_slo(good + bad, target=SLOTarget(objective=0.5),
+                              windows=[BurnWindow(100.0, 1.0, 1.9)])
+        (w,) = report.windows
+        assert w.short_burn >= 1.9
+        assert w.long_burn < 1.9
+        assert not w.firing
+
+    def test_windows_clamp_to_run_start(self):
+        # horizon shorter than the long window: the window is the whole
+        # run, counting every event exactly once
+        events = _events(10.0, 8, bad_fraction=0.5)
+        report = evaluate_slo(events, windows=DEFAULT_WINDOWS)
+        assert report.windows[0].long_events == 8
+
+    def test_horizon_defaults_to_last_completion(self):
+        events = [(3.0, 0.01), (7.0, 0.01)]
+        assert evaluate_slo(events).horizon == 7.0
+        assert evaluate_slo(events, horizon=100.0).horizon == 100.0
+
+    def test_budget_consumed_scales_with_bad_fraction(self):
+        report = evaluate_slo(
+            _events(100.0, 100, bad_fraction=0.1),
+            target=SLOTarget(objective=0.95),
+        )
+        assert report.budget_consumed == pytest.approx(0.1 / 0.05)
+
+    def test_threshold_boundary_is_bad(self):
+        # latency == threshold counts against the budget ("under" is strict)
+        report = evaluate_slo([(1.0, 0.25)],
+                              target=SLOTarget(threshold_s=0.25))
+        assert report.bad_events == 1
+
+    def test_to_dict_shape(self):
+        report = evaluate_slo(_events(400.0, 40, bad_fraction=0.5))
+        d = report.to_dict()
+        assert d["verdict"] in ("OK", "BREACH")
+        assert d["events"] == 40
+        assert len(d["windows"]) == len(DEFAULT_WINDOWS)
+        assert {"long_burn", "short_burn", "firing"} <= set(d["windows"][0])
