@@ -51,9 +51,14 @@ def test_multiclient_scaling(report):
     print(f"wrote {result.artifact_path}")
 
     scaling = [r for r in result.rows if r["regime"] == "scaling"]
-    contended = {r["rebalance"]: r for r in result.rows
-                 if r["regime"] == "contended"}
+    contended = {
+        (f"full/{r['admission']}" if r["rebalance"] == "full"
+         else r["rebalance"]): r
+        for r in result.rows if r["regime"] == "contended"
+    }
     sharded = [r for r in result.rows if r["regime"] == "sharded"]
+    cross = {str(r["cross_fraction"]): r for r in result.rows
+             if r["regime"] == "cross_shard"}
     client_counts = doc["client_counts"]
     arms = ("incremental", "batched", "full")
     n_max = client_counts[-1]
@@ -82,15 +87,41 @@ def test_multiclient_scaling(report):
             )
     lines.append("")
     lines.append(f"Contended regime ({doc['contended']['n_clients']} "
-                 "clients, 40 Mb/s WAN, 256 KiB windows):")
-    for arm, st in contended.items():
+                 "clients, 40 Mb/s WAN, 256 KiB windows, 2 KiB blocks):")
+    contended_runs = doc["contended"]["runs"]
+    contended_walls = wall["contended"]
+    for key, st in contended_runs.items():
+        w = contended_walls[key]
         lines.append(
-            f"  {arm:<12} recomputes={st['recomputes']} "
+            f"  {key:<12} wall={w['wall_s']:.4f}s "
+            f"ev/s={w['events_per_second']:.0f} "
+            f"recomputes={st['recomputes']} "
+            f"full={st['full_recomputes']} "
             f"vectorized={st['vectorized']} coalesced={st['coalesced']} "
-            f"batched_flushes={st['batched_flushes']} "
-            f"batch_flows={st['batch_flows']}"
+            f"adm_batches={st['admission_batches_flushed']} "
+            f"adm_coalesced={st['admission_submissions_coalesced']} "
+            f"adm_scalar={st['admission_scalar_fallbacks']}"
         )
+    lines.append(f"  admission batching speedup (full/off -> full/on): "
+                 f"{wall['admission_speedup']:.2f}x")
     lines.append("")
+    if "cross_shard" in doc:
+        xs = doc["cross_shard"]
+        lines.append(
+            f"Cross-shard traffic ({xs['n_clients']} clients, "
+            f"{xs['n_shards']} shards, backbone boundary link):")
+        lines.append(f"{'frac':>6} {'events':>9} {'events/s':>10} "
+                     f"{'windows':>8} {'oversub':>8}")
+        for frac in map(str, xs["fractions"]):
+            r = xs["runs"][frac]
+            w = wall["cross_shard"][frac]
+            lines.append(
+                f"{frac:>6} {r['events_fired']:>9} "
+                f"{w['events_per_second']:>10.0f} "
+                f"{r.get('boundary_windows', 0):>8} "
+                f"{r.get('boundary_max_oversubscription', 0.0):>8.3f}"
+            )
+        lines.append("")
     lines.append(f"Sharded fleet ({n_max} clients, batched arm, "
                  "sequential workers):")
     lines.append(f"{'S':>4} {'events':>9} {'makespan s':>11} {'cpu s':>8} "
@@ -126,13 +157,47 @@ def test_multiclient_scaling(report):
         assert full["full_recomputes"] > 0
 
     # contended regime proves the optimized paths are live, not dead code
-    for arm, st in contended.items():
+    for arm in ("incremental", "batched"):
+        st = contended[arm]
         assert st["vectorized"] > 0, f"{arm}: vectorized water-fill is dead"
         assert st["coalesced"] > 0, f"{arm}: trigger coalescing is dead"
+        # the admission plan formed real batches (satellite: the
+        # vectorized submission path is live in the contended regime)
+        assert st["admission_batches_flushed"] > 0, (
+            f"{arm}: admission batching is dead")
+        assert st["admission_submissions_coalesced"] > 0
     assert contended["batched"]["batched_flushes"] > 0
     assert contended["batched"]["batch_flows"] > 0
     assert (contended["incremental"]["per_client_accesses"]
             == contended["batched"]["per_client_accesses"])
+
+    # admission batching A/B under the full recompute: same deliveries,
+    # same event stream size, and the off arm really ran scalar
+    adm_on, adm_off = contended["full/on"], contended["full/off"]
+    assert adm_on["accesses"] == adm_off["accesses"]
+    assert adm_on["events_fired"] == adm_off["events_fired"]
+    assert adm_on["per_client_accesses"] == adm_off["per_client_accesses"]
+    assert adm_on["admission_batches_flushed"] > 0
+    assert adm_off["admission_batches_flushed"] == 0
+    assert adm_off["admission_scalar_fallbacks"] > 0
+    # coalescing the per-submission recomputes is the measured win
+    assert adm_on["full_recomputes"] < adm_off["full_recomputes"]
+    min_speedup = 1.2 if _SMALL else 1.3
+    assert wall["admission_speedup"] >= min_speedup, (
+        f"admission batching speedup {wall['admission_speedup']:.2f}x "
+        f"< {min_speedup}x in the contended full-recompute regime")
+
+    # cross-shard axis: every fraction still delivers the whole workload;
+    # crossing fractions exchanged boundary loads at the barrier
+    if cross:
+        for frac, row in cross.items():
+            assert row["accesses"] == by_key[(n_max, "batched")]["accesses"]
+            if float(frac) > 0.0:
+                assert row.get("boundary_windows", 0) > 0, (
+                    f"{frac}: boundary exchange never ran")
+                assert row["boundary_staleness_bound"] > 0.0
+            else:
+                assert "boundary_windows" not in row
 
     # sharding preserves the workload (every access delivered) ...
     for row in sharded:
@@ -186,20 +251,30 @@ def _profile_main(argv=None):
     parser.add_argument("--clients", type=int, default=counts[-1])
     parser.add_argument("--rebalance", default="incremental",
                         choices=["incremental", "batched", "full"])
+    parser.add_argument("--regime", default="scaling",
+                        choices=["scaling", "contended"])
+    parser.add_argument("--admission", default="on", choices=["on", "off"],
+                        help="vectorized admission batching arm")
     args = parser.parse_args(argv)
     if not args.profile:
         parser.error("this entry point only supports --profile; "
                      "run the benchmark itself via pytest")
 
     source = _scale_source()
-    config = _scale_config("scaling", args.clients, args.rebalance, seed=7)
+    config = _scale_config(args.regime, args.clients, args.rebalance,
+                           seed=7, admission=args.admission)
     profiler = cProfile.Profile()
     profiler.enable()
     result = run_multiclient_session(source, config)
     profiler.disable()
-    print(f"{args.clients} clients / {args.rebalance}: "
+    adm = result.admission
+    print(f"{args.clients} clients / {args.regime} / {args.rebalance} / "
+          f"admission={args.admission}: "
           f"{result.events_fired} events in {result.wall_seconds:.3f}s "
-          f"({result.events_per_second:.0f} events/s)\n")
+          f"({result.events_per_second:.0f} events/s)")
+    print(f"admission: batches_flushed={adm['batches_flushed']} "
+          f"submissions_coalesced={adm['submissions_coalesced']} "
+          f"scalar_fallbacks={adm['scalar_fallbacks']}\n")
     stats = pstats.Stats(profiler)
     stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
     return 0

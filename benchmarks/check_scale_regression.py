@@ -6,8 +6,9 @@ The original scale-only checker grew into the generic
 wall_clock figures, either regression direction).  This entry point keeps
 the old CLI — ``--fresh/--ref/--threshold/--min-wall`` — and delegates
 with the preset that reproduces the historical behavior: guard every
-``events_per_second`` figure of ``BENCH_scale.json`` (scaling runs and
-the sharded curve), higher-is-better, sub-``--min-wall`` runs skipped.
+``events_per_second`` figure of ``BENCH_scale.json`` (scaling runs, the
+sharded curve, the cross-shard-fraction tiers and the contended
+admission arms), higher-is-better, sub-``--min-wall`` runs skipped.
 """
 
 import argparse
@@ -43,6 +44,8 @@ def main(argv=None) -> int:
         "--ref", args.ref,
         "--select", "runs.*.events_per_second",
         "--select", "sharded.*.events_per_second",
+        "--select", "cross_shard.*.events_per_second",
+        "--select", "contended.*.events_per_second",
         "--direction", "higher",
         "--threshold", str(args.threshold),
         "--min-wall", str(args.min_wall),

@@ -359,6 +359,7 @@ def sharded_fingerprint(
     n_accesses: int = 10,
     case: int = 3,
     rebalance: str = "incremental",
+    cross_shard_fraction: float = 0.0,
 ) -> RunFingerprint:
     """Fingerprint a sharded fleet (merged per-shard streams).
 
@@ -366,7 +367,11 @@ def sharded_fingerprint(
     one process per shard.  Comparing the two through
     :func:`compare_fingerprints` is the sharded-vs-single-process safety
     net: the parallel path must merge to the exact event stream the
-    sequential path produces.
+    sequential path produces.  ``cross_shard_fraction > 0`` routes that
+    share of clients over the shared backbone, so the comparison also
+    covers the two-phase boundary exchange (the crossing lockstep and
+    the barrier-synchronized workers must publish/read identical loads
+    in identical order).
     """
     from ..lightfield.lattice import CameraLattice
     from ..lightfield.source import SyntheticSource
@@ -381,7 +386,10 @@ def sharded_fingerprint(
         cpu_seconds_per_byte=MODELED_CPU_SECONDS_PER_BYTE,
         network_rebalance=rebalance,
     )
-    config = MultiClientConfig(base=base, n_clients=n_clients)
+    config = MultiClientConfig(
+        base=base, n_clients=n_clients,
+        cross_shard_fraction=cross_shard_fraction,
+    )
     lattice = CameraLattice(n_theta=12, n_phi=24, l=3)
     source = SyntheticSource(lattice, resolution=resolution, seed=2003)
     result = run_sharded_session(
@@ -393,7 +401,8 @@ def sharded_fingerprint(
     breakdown = result.per_client[0].breakdown()
     return RunFingerprint(
         label=(f"sharded(n={n_clients},shards={n_shards},"
-               f"workers={workers},seed={seed},rebalance={rebalance})"),
+               f"workers={workers},seed={seed},rebalance={rebalance},"
+               f"cross={cross_shard_fraction})"),
         seed=seed,
         n_events=len(events),
         event_hash=_digest(events),

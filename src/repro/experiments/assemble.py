@@ -164,7 +164,10 @@ def assemble_observability(
 # BENCH_scale.json
 # ----------------------------------------------------------------------
 _CONTENDED_KEYS = ("accesses", "events_fired", "recomputes", "vectorized",
-                   "coalesced", "batched_flushes", "batch_flows")
+                   "coalesced", "batched_flushes", "batch_flows",
+                   "full_recomputes", "admission_batches_flushed",
+                   "admission_submissions_coalesced",
+                   "admission_scalar_fallbacks")
 
 
 def assemble_scale(
@@ -183,6 +186,8 @@ def assemble_scale(
                  if r.get("regime") == "contended"]
     sharded = [(r, w) for r, w in zip(rows, walls)
                if r.get("regime") == "sharded"]
+    cross = [(r, w) for r, w in zip(rows, walls)
+             if r.get("regime") == "cross_shard"]
 
     client_counts = sorted({int(r["n_clients"]) for r, _ in scaling})  # type: ignore[arg-type]
     n_max = client_counts[-1] if client_counts else 0
@@ -205,13 +210,26 @@ def assemble_scale(
         inc = float(wall_by_key.get((n, "incremental"), {}).get("wall_s", 0.0))  # type: ignore[arg-type]
         speedups[str(n)] = round(full / inc, 2) if inc else 1.0
 
+    def _contended_key(r: Row) -> str:
+        # the full-recompute rows carry the admission A/B; incremental
+        # and batched keep their historical single-arm keys
+        if str(r["rebalance"]) == "full":
+            return f"full/{r.get('admission', 'on')}"
+        return str(r["rebalance"])
+
+    contended_walls: Dict[str, Dict[str, object]] = {}
     if contended:
         payload["contended"] = {
             "n_clients": contended[0][0]["n_clients"],
             "runs": {
-                str(r["rebalance"]): {k: r[k] for k in _CONTENDED_KEYS}
+                _contended_key(r): {
+                    k: r[k] for k in _CONTENDED_KEYS if k in r
+                }
                 for r, _ in contended
             },
+        }
+        contended_walls = {
+            _contended_key(r): dict(w or {}) for r, w in contended
         }
 
     wall: Dict[str, object] = {
@@ -219,6 +237,11 @@ def assemble_scale(
         "speedups": speedups,
         "speedup_at_max": speedups.get(str(n_max), 1.0),
     }
+    if contended_walls:
+        wall["contended"] = contended_walls
+        on = float(contended_walls.get("full/on", {}).get("wall_s", 0.0))  # type: ignore[union-attr]
+        off = float(contended_walls.get("full/off", {}).get("wall_s", 0.0))  # type: ignore[union-attr]
+        wall["admission_speedup"] = round(off / on, 2) if on else 1.0
     if sharded:
         payload["sharded"] = {
             "n_clients": sharded[0][0]["n_clients"],
@@ -230,6 +253,26 @@ def assemble_scale(
         }
         wall["sharded"] = {str(r["n_shards"]): dict(w or {})
                            for r, w in sharded}
+    if cross:
+        payload["cross_shard"] = {
+            "n_clients": cross[0][0]["n_clients"],
+            "n_shards": cross[0][0]["n_shards"],
+            "fractions": [r["cross_fraction"] for r, _ in cross],
+            "runs": {
+                str(r["cross_fraction"]): {
+                    k: r[k] for k in (
+                        "events_fired", "accesses",
+                        "admission_batches_flushed",
+                        "admission_submissions_coalesced",
+                        "boundary_windows", "boundary_staleness_bound",
+                        "boundary_max_oversubscription",
+                    ) if k in r
+                }
+                for r, _ in cross
+            },
+        }
+        wall["cross_shard"] = {str(r["cross_fraction"]): dict(w or {})
+                              for r, w in cross}
     return payload, wall
 
 

@@ -406,16 +406,27 @@ def _scale_source() -> SyntheticSource:
 
 
 def _scale_config(
-    regime: str, n_clients: int, rebalance: str, seed: int
+    regime: str,
+    n_clients: int,
+    rebalance: str,
+    seed: int,
+    admission: str = "on",
 ) -> "object":
     from ..lon import gbps, mbps
     from ..streaming.multiclient import MultiClientConfig
 
     from .config import scale_small
 
+    # "on" admits same-timestamp submission batches through the
+    # vectorized AdmissionPlan (the SessionConfig default threshold);
+    # "off" forces every submission down the scalar path
+    sched_threshold = 6 if admission == "on" else 10**9
     if regime == "contended":
-        # bandwidth-scarce: big windows over a thin WAN defeat the quiet
-        # fast paths, so flushes/coalescing/vectorized fills really fire
+        # bandwidth-scarce flash crowds: big windows over a thin WAN
+        # defeat the quiet fast paths (flushes/coalescing/vectorized
+        # fills really fire) while small blocks and wide stream fans
+        # make every pump a same-timestamp submission batch, so the
+        # admission plan forms real batches too
         base = SessionConfig(
             case=3,
             n_accesses=8,
@@ -424,13 +435,15 @@ def _scale_config(
             wan_latency=0.08,
             depot_access_bandwidth=mbps(50.0),
             tcp_window=256 * 1024,
-            block_size=256 * 1024,
+            block_size=2048,
             cpu_seconds_per_byte=MODELED_CPU_SECONDS_PER_BYTE,
+            max_streams=8,
             staging_concurrency=24,
-            staging_streams=6,
+            staging_streams=12,
             prefetch_policy="all-neighbors",
             network_rebalance=rebalance,
             network_vectorize_threshold=12,
+            scheduler_vectorize_threshold=sched_threshold,
         )
     else:
         # window-capped steady state: the quiet fast path dominates
@@ -448,6 +461,7 @@ def _scale_config(
             staging_streams=4,
             prefetch_policy="all-neighbors",
             network_rebalance=rebalance,
+            scheduler_vectorize_threshold=sched_threshold,
         )
     return MultiClientConfig(
         base=base, n_clients=n_clients, seed_stride=101, start_stagger=0.25,
@@ -459,18 +473,26 @@ def multiclient_point(
     n_clients: int,
     rebalance: str,
     seed: int = 7,
+    admission: str = "on",
 ) -> Row:
-    """One (fleet size × rebalance arm) cell of the scale curve."""
+    """One (fleet size × rebalance × admission arm) scale-curve cell."""
     from ..streaming.multiclient import run_multiclient_session
 
-    config = _scale_config(regime, n_clients, rebalance, seed)
+    config = _scale_config(regime, n_clients, rebalance, seed,
+                           admission=admission)
     result = run_multiclient_session(_scale_source(), config)  # type: ignore[arg-type]
     agg = result.aggregate()
     reb = result.rebalance
+    adm = result.admission
     return {
         "regime": regime,
         "n_clients": n_clients,
         "rebalance": rebalance,
+        "admission": admission,
+        "admission_batches_flushed": adm.get("batches_flushed", 0),
+        "admission_submissions_coalesced": adm.get(
+            "submissions_coalesced", 0),
+        "admission_scalar_fallbacks": adm.get("scalar_fallbacks", 0),
         "events_fired": result.events_fired,
         "sim_s": round(result.sim_seconds, 2),
         "accesses": agg["accesses"],
@@ -498,21 +520,40 @@ def sharded_point(
     rebalance: str,
     n_shards: int,
     seed: int = 7,
+    cross_fraction: float = 0.0,
 ) -> Row:
-    """One shard count of the sharded-fleet throughput curve."""
+    """One shard count (× cross-shard traffic fraction) of the
+    sharded-fleet throughput curve.
+
+    ``cross_fraction > 0`` routes that share of clients over the shared
+    backbone (``xs-switch`` <-> ``wan-router`` boundary link), so shards
+    stop being link-disjoint and exchange boundary-load summaries at the
+    windowed barrier; the row then reports the measured bounded-staleness
+    figures alongside the admission-batch counters.
+    """
+    from dataclasses import replace as dc_replace
+
     from ..lon.shard import run_sharded_session
 
     config = _scale_config("scaling", n_clients, rebalance, seed)
+    if cross_fraction:
+        config = dc_replace(config, cross_shard_fraction=cross_fraction)  # type: ignore[type-var]
     sharded = run_sharded_session(
         _scale_source(), config, n_shards=n_shards, workers=1,  # type: ignore[arg-type]
     )
-    return {
+    agg = sharded.aggregate()
+    row: Row = {
         "regime": regime,
         "n_clients": n_clients,
         "rebalance": rebalance,
         "n_shards": n_shards,
+        "cross_fraction": cross_fraction,
         "events_fired": sharded.events_fired,
-        "accesses": sharded.aggregate()["accesses"],
+        "accesses": agg["accesses"],
+        "admission_batches_flushed": agg.get(
+            "admission_batches_flushed", 0),
+        "admission_submissions_coalesced": agg.get(
+            "admission_submissions_coalesced", 0),
         WALL_CLOCK_KEY: {
             "makespan_s": round(sharded.wall_seconds, 4),
             "cpu_s": round(sharded.cpu_seconds, 4),
@@ -522,6 +563,11 @@ def sharded_point(
             ) if sharded.cpu_seconds else 0.0,
         },
     }
+    for key in ("boundary_windows", "boundary_staleness_bound",
+                "boundary_max_oversubscription"):
+        if key in agg:
+            row[key] = agg[key]
+    return row
 
 
 # ----------------------------------------------------------------------

@@ -278,10 +278,25 @@ def _scale_points() -> List[Dict[str, object]]:
     for arm in ("incremental", "batched"):
         points.append({"regime": "contended", "n_clients": contended,
                        "rebalance": arm})
+    # admission-batching A/B: full-recompute rebalancing is where the
+    # scalar path pays one synchronous recompute per submission, so the
+    # coalesced batch flush is measured there (on vs off)
+    for adm in ("on", "off"):
+        points.append({"regime": "contended", "n_clients": contended,
+                       "rebalance": "full", "admission": adm})
     for s in shard_counts:
         points.append({
             "regime": "sharded", "n_clients": client_counts[-1],
             "rebalance": "batched", "n_shards": s,
+            SCENARIO_KEY: f"{_S}.sharded_point",
+        })
+    # cross-shard traffic axis: same fleet at max shards, 0/10/30% of
+    # clients routed over the shared backbone boundary link
+    for frac in (0.0, 0.1, 0.3):
+        points.append({
+            "regime": "cross_shard", "n_clients": client_counts[-1],
+            "rebalance": "batched", "n_shards": shard_counts[-1],
+            "cross_fraction": frac,
             SCENARIO_KEY: f"{_S}.sharded_point",
         })
     return points

@@ -27,7 +27,13 @@ from .exnode import ExNode, Extent, Mapping
 from .ibp import Depot, IBPError
 from .lbone import LBone
 from .network import Flow, Network, NetworkError
-from .scheduler import CancelToken, Priority, TransferHandle, TransferScheduler
+from .scheduler import (
+    CancelToken,
+    Priority,
+    TransferHandle,
+    TransferScheduler,
+    TransferSpec,
+)
 from .simtime import EventQueue
 
 __all__ = [
@@ -229,15 +235,51 @@ class DownloadJob:
 
     # -- stream pump ------------------------------------------------------
     def _pump(self) -> None:
+        """Launch every runnable block, one RPC event per distinct delay.
+
+        Blocks whose depot request round-trips are identical (the common
+        case: replicas striped across equidistant depots) arrive together
+        and admit as one :meth:`TransferScheduler.submit_batch` — the
+        flash-crowd batch the vectorized admission path is built for —
+        while also collapsing per-block ``lors-dl-rpc`` events into one.
+        """
         if self._failed or self._cancelled:
             return
+        groups: Dict[float, List[Tuple[_BlockFetch, bytes]]] = {}
+        order: List[float] = []
         for bf in self._pending:
             if self._inflight >= self.max_streams:
                 break
-            if bf.handle is None and bf.attempts == 0:
-                self._launch(bf)
+            if bf.handle is not None or bf.attempts != 0:
+                continue
+            bf.attempts += 1
+            self._inflight += 1
+            m = bf.mapping
+            try:
+                depot = self.lors.lbone.lookup(m.depot)
+                data = depot.load(m.read_cap, 0, m.extent.length)
+            except (IBPError, Exception) as exc:  # noqa: BLE001 - failover
+                self._inflight -= 1
+                self._failover(bf, exc)
+                if self._failed or self._cancelled:
+                    return
+                continue
+            rpc = self.lors.network.rpc_delay(self.dest, m.depot)
+            bucket = groups.get(rpc)
+            if bucket is None:
+                groups[rpc] = bucket = []
+                order.append(rpc)
+            bucket.append((bf, data))
+        for rpc in order:
+            blocks = groups[rpc]
+            self.lors.queue.schedule_in(
+                rpc,
+                lambda blocks=blocks: self._begin_flows(blocks),
+                "lors-dl-rpc",
+            )
 
     def _launch(self, bf: _BlockFetch) -> None:
+        """Failover relaunch of a single block (its own RPC round-trip)."""
         bf.attempts += 1
         self._inflight += 1
         m = bf.mapping
@@ -250,30 +292,50 @@ class DownloadJob:
             return
         # request round-trip then bulk flow back to the destination
         rpc = self.lors.network.rpc_delay(self.dest, m.depot)
+        blocks = [(bf, data)]
+        self.lors.queue.schedule_in(
+            rpc, lambda: self._begin_flows(blocks), "lors-dl-rpc"
+        )
 
-        def begin_flow() -> None:
-            if self._failed or self._cancelled:
-                return
+    def _begin_flows(
+        self, blocks: List[Tuple[_BlockFetch, bytes]]
+    ) -> None:
+        """Admit one RPC group's block flows as a single batch."""
+        if self._failed or self._cancelled:
+            return
+        specs: List[TransferSpec] = []
+        live: List[_BlockFetch] = []
+        for bf, data in blocks:
+            m = bf.mapping
             try:
-                bf.handle = self.lors.scheduler.submit(
-                    m.depot,
-                    self.dest,
-                    m.extent.length,
-                    on_complete=lambda fl: self._block_done(bf, data),
-                    on_fail=lambda fl, exc: self._block_failed(bf, exc),
-                    label=f"dl:{self.exnode.name}:{m.extent.offset}",
-                    priority=self.priority,
-                    token=self.token,
-                    span=self.span,
-                )
-                if self.t_first_flow is None:
-                    self.t_first_flow = self.lors.queue.now
+                self.lors.network.route(m.depot, self.dest)
             except NetworkError as exc:
                 # the depot was partitioned between request and response
                 self._inflight -= 1
                 self._failover(bf, exc)
-
-        self.lors.queue.schedule_in(rpc, begin_flow, "lors-dl-rpc")
+                if self._failed or self._cancelled:
+                    return
+                continue
+            specs.append(TransferSpec(
+                m.depot,
+                self.dest,
+                m.extent.length,
+                on_complete=lambda fl, bf=bf, data=data:
+                    self._block_done(bf, data),
+                on_fail=lambda fl, exc, bf=bf: self._block_failed(bf, exc),
+                label=f"dl:{self.exnode.name}:{m.extent.offset}",
+                priority=self.priority,
+                token=self.token,
+                span=self.span,
+            ))
+            live.append(bf)
+        if not specs:
+            return
+        handles = self.lors.scheduler.submit_batch(specs)
+        for bf, handle in zip(live, handles):
+            bf.handle = handle
+        if self.t_first_flow is None:
+            self.t_first_flow = self.lors.queue.now
 
     def _block_done(self, bf: _BlockFetch, data: bytes) -> None:
         if self._failed or self._cancelled:
@@ -376,6 +438,13 @@ class CopyJob:
         self._pump()
 
     def _pump(self) -> None:
+        """Fill free stream slots; first-attempt copies admit as one batch.
+
+        Depot-side work (``copy_out`` + target allocation) is synchronous,
+        so hoisting it ahead of the batched admission reorders nothing;
+        failovers retry through the scalar :meth:`_copy_block` path.
+        """
+        specs: List[TransferSpec] = []
         while (
             self._queue_blocks
             and self._inflight < self.max_streams
@@ -383,37 +452,30 @@ class CopyJob:
         ):
             m, alternates = self._queue_blocks.pop(0)
             self._inflight += 1
-            self._copy_block(m, alternates)
-
-    def cancel(self) -> None:
-        """Abort outstanding block copies; rejects the deferred."""
-        if self.deferred.done or self._cancelled:
+            spec = self._copy_spec(m, alternates)
+            if spec is not None:
+                specs.append(spec)
+        if not specs or self._failed or self._cancelled:
             return
-        self._cancelled = True
-        for h in self._handles:
-            h.cancel()
-        self.token.cancel()
-        self.deferred.reject(LoRSError("copy cancelled"))
+        handles = self.lors.scheduler.submit_batch(specs)
+        self._handles.extend(handles)
 
-    def promote(self, priority: Priority) -> None:
-        """Raise the urgency of every outstanding and future block copy."""
-        priority = Priority(priority)
-        if priority >= self.priority:
-            return
-        self.priority = priority
-        for h in self._handles:
-            h.promote(priority)
-
-    def _copy_block(self, m: Mapping, alternates: List[Mapping]) -> None:
+    def _copy_spec(
+        self, m: Mapping, alternates: List[Mapping]
+    ) -> Optional[TransferSpec]:
+        """Depot-side work + spec for one block copy; None on failover."""
         try:
             src_depot = self.lors.lbone.lookup(m.depot)
             data = src_depot.copy_out(m.read_cap, 0, m.extent.length)
             rcap, wcap, mcap = self.target.allocate(
                 m.extent.length, self.duration, soft=self.soft
             )
+            # routability pre-check so a partitioned depot fails over here
+            # (the scalar path learns it from submit raising NoRouteError)
+            self.lors.network.route(m.depot, self.target.name)
         except (IBPError, Exception) as exc:  # noqa: BLE001 - failover path
             self._block_copy_failed(m, alternates, exc)
-            return
+            return None
 
         def deliver(fl: Flow) -> None:
             if self._failed or self._cancelled:
@@ -438,23 +500,55 @@ class CopyJob:
             else:
                 self._pump()
 
-        try:
-            handle = self.lors.scheduler.submit(
-                m.depot,
-                self.target.name,
-                m.extent.length,
-                on_complete=deliver,
-                on_fail=lambda fl, exc: self._block_copy_failed(
-                    m, alternates, exc
-                ),
-                label=f"copy:{self.exnode.name}:{m.extent.offset}",
-                priority=self.priority,
-                token=self.token,
-                span=self.span,
-            )
-        except NetworkError as exc:
-            self._block_copy_failed(m, alternates, exc)
+        return TransferSpec(
+            m.depot,
+            self.target.name,
+            m.extent.length,
+            on_complete=deliver,
+            on_fail=lambda fl, exc: self._block_copy_failed(
+                m, alternates, exc
+            ),
+            label=f"copy:{self.exnode.name}:{m.extent.offset}",
+            priority=self.priority,
+            token=self.token,
+            span=self.span,
+        )
+
+    def cancel(self) -> None:
+        """Abort outstanding block copies; rejects the deferred."""
+        if self.deferred.done or self._cancelled:
             return
+        self._cancelled = True
+        for h in self._handles:
+            h.cancel()
+        self.token.cancel()
+        self.deferred.reject(LoRSError("copy cancelled"))
+
+    def promote(self, priority: Priority) -> None:
+        """Raise the urgency of every outstanding and future block copy."""
+        priority = Priority(priority)
+        if priority >= self.priority:
+            return
+        self.priority = priority
+        for h in self._handles:
+            h.promote(priority)
+
+    def _copy_block(self, m: Mapping, alternates: List[Mapping]) -> None:
+        """Scalar (failover) admission of one block copy."""
+        spec = self._copy_spec(m, alternates)
+        if spec is None:
+            return
+        handle = self.lors.scheduler.submit(
+            spec.src,
+            spec.dst,
+            spec.size,
+            on_complete=spec.on_complete,
+            on_fail=spec.on_fail,
+            label=spec.label,
+            priority=spec.priority,
+            token=spec.token,
+            span=spec.span,
+        )
         self._handles.append(handle)
 
     def _block_copy_failed(
@@ -613,15 +707,17 @@ class LoRS:
             state["failed"] = True
             deferred.reject(LoRSError(f"upload of {name!r} failed: {exc}"))
 
-        for m in exnode.mappings:
-            self.scheduler.submit(
+        self.scheduler.submit_batch([
+            TransferSpec(
                 source, m.depot, m.extent.length,
                 on_complete=done, on_fail=fail,
                 label=f"ul:{name}:{m.extent.offset}",
-                priority=priority,
+                priority=Priority(priority),
                 token=token,
                 span=span,
             )
+            for m in exnode.mappings
+        ])
         return deferred
 
     def download(

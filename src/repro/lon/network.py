@@ -62,6 +62,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "NetworkError",
     "NoRouteError",
     "RebalanceStats",
+    "AdmissionPlan",
     "REBALANCE_MODES",
     "mbps",
     "gbps",
@@ -221,6 +223,148 @@ class RebalanceStats:
     batch_flows: int = 0         # flows settled/gated through array ops
 
 
+class AdmissionPlan:
+    """Vectorized same-timestamp admission over one batch of transfers.
+
+    Built by :meth:`Network.admission_plan` from the ``(src, dst, size)``
+    triples of one scheduler batch.  Path resolution, TCP-window initial
+    rate seeding, completion ETAs and the interleaved quiet-link verdicts
+    are all precomputed as numpy array operations; :meth:`admit` then
+    commits flows one at a time, in submission order, producing exactly
+    the event schedule the scalar :meth:`Network.transfer` path would
+    have (the fingerprint suite holds this line).
+
+    The per-item quiet verdicts are exact, not heuristic: during a batch
+    of pure admissions with finite rate caps, a row's cap-sum load only
+    grows, so "the first item index at which each row goes over" fully
+    determines every interleaved scalar ``_quiet`` answer.  If a planned
+    item is skipped at commit time (a token tripped or a dedup key
+    appeared mid-batch), :meth:`skip` degrades the plan: verdicts for the
+    remaining items are re-read live from the row state, which the
+    authoritative per-item ``_admit`` accounting keeps exact either way.
+
+    Under ``full`` rebalance mode there is no quiet fast path (every
+    scalar ``transfer`` pokes a synchronous :meth:`Network._rebalance_full`),
+    so the plan instead defers the recompute: flows commit without
+    re-rating and :meth:`finish` feeds one coalesced full rebalance for
+    the whole batch.  Same-timestamp full rebalances are idempotent on
+    settle/max-min state, so rates, completion times and transfer
+    outcomes stay bit-equal to the scalar path's per-submission
+    recomputes — only the recompute count (and hence the granularity of
+    ``rerated`` rate-change history under tracing) is coarser.
+
+    ``vector_ok`` is False when the batch cannot be planned (no TCP
+    window outside full mode, a same-node or unroutable item);
+    :meth:`admit` then simply delegates to scalar ``transfer``.
+    """
+
+    __slots__ = (
+        "net", "items", "vector_ok", "degraded",
+        "_links", "_props", "_caps", "_etas",
+        "_row_ids", "_row_arrs", "_quiet_flags",
+        "_full", "_full_pokes",
+    )
+
+    def __init__(self, net: "Network",
+                 items: List[Tuple[str, str, int]]) -> None:
+        self.net = net
+        self.items = items
+        self.vector_ok = False
+        self.degraded = False
+        self._links: List[Tuple[FrozenSet[str], ...]] = []
+        self._props: List[float] = []
+        self._caps: List[float] = []
+        self._etas: List[float] = []
+        self._row_ids: List[Tuple[int, ...]] = []
+        self._row_arrs: List[np.ndarray] = []
+        self._quiet_flags: Optional[np.ndarray] = None
+        self._full = False
+        self._full_pokes = 0
+
+    def skip(self) -> None:
+        """Note that a planned item admitted nothing.
+
+        The precomputed quiet verdicts for the remaining items assumed it
+        present, so the rest of the batch re-reads live row state.
+        """
+        self.degraded = True
+
+    def finish(self) -> None:
+        """Flush the one coalesced recompute a full-mode batch deferred.
+
+        No-op outside full rebalance mode (the incremental/batched flush
+        event already coalesces same-timestamp pokes) and for plans that
+        admitted nothing.  The deferred pokes land as a single
+        :meth:`Network._rebalance_full`, replacing the scalar path's
+        one-recompute-per-submission cascade with bit-equal final rates.
+        """
+        if self._full and self._full_pokes:
+            # one recompute stands in for this many scalar ones
+            self.net.stats.coalesced += self._full_pokes - 1
+            self._full_pokes = 0
+            self.net._rebalance_full()
+
+    def admit(
+        self,
+        j: int,
+        on_complete: Callable[[Flow], None],
+        on_fail: Optional[Callable[[Flow, Exception], None]],
+        label: str,
+        weight: float,
+    ) -> Flow:
+        """Commit planned item ``j`` (bit-equal to scalar ``transfer``)."""
+        net = self.net
+        src, dst, size = self.items[j]
+        if not self.vector_ok:
+            return net.transfer(src, dst, size, on_complete=on_complete,
+                                on_fail=on_fail, label=label, weight=weight)
+        now = net.queue.now
+        flow = Flow(src, dst, size, self._links[j], on_complete, on_fail,
+                    label, weight=weight)
+        flow.fid = next(net._fid_counter)
+        flow.start_time = now
+        flow.last_update = now
+        flow.prop_latency = self._props[j]
+        flow.rate_cap = self._caps[j]
+        flow.link_row_ids = self._row_ids[j]
+        flow.link_rows = self._row_arrs[j]
+        net._flows[flow.fid] = flow
+        net._admit(flow)
+        if self._full:
+            # scalar transfer would _poke -> synchronous _rebalance_full
+            # right here; defer it so finish() recomputes once for the
+            # whole batch.  A degraded plan reverts to the scalar poke
+            # (the immediate recompute also re-rates any flows deferred
+            # so far, so nothing stays stale past this point).
+            if self.degraded:
+                self._full_pokes = 0
+                net._poke(self._row_ids[j])
+            else:
+                self._full_pokes += 1
+            return flow
+        if self.degraded:
+            quiet = net._quiet(flow)
+        else:
+            flags = self._quiet_flags
+            assert flags is not None  # set whenever vector_ok
+            quiet = bool(flags[j])
+        if quiet:
+            flow.rate = flow.rate_cap
+            net.stats.flows_rerated += 1
+            net.stats.fast_rated += 1
+            # scalar _reschedule with the precomputed ETA: a brand-new
+            # flow has no event to cancel and a finite positive rate
+            flow._completion_event = net.queue.schedule(
+                self._etas[j],
+                lambda fl=flow: net._drain_check(fl),
+                f"flow:{label}",
+            )
+            net.stats.events_rescheduled += 1
+        else:
+            net._poke(self._row_ids[j])
+        return flow
+
+
 class Network:
     """Topology container + flow scheduler.
 
@@ -276,6 +420,15 @@ class Network:
         self._path_cache: Dict[
             Tuple[str, str], Tuple[Tuple[FrozenSet[str], ...], float]
         ] = {}
+        # admission-plan per-pair cache: (path links, propagation latency,
+        # TCP-window rate cap, link row ids, row-id ndarray).  Everything
+        # here is route- and window-derived (never load-derived), so it
+        # invalidates exactly with the path cache.
+        self._plan_cache: Dict[
+            Tuple[str, str],
+            Tuple[Tuple[FrozenSet[str], ...], float, float,
+                  Tuple[int, ...], np.ndarray],
+        ] = {}
         # incremental-rebalance state: link row -> ids of *contending*
         # flows (admitted, not paused, not drained), the dirty row seeds,
         # and the pending same-timestamp flush.  Links are identified by
@@ -317,6 +470,7 @@ class Network:
         self.graph.add_edge(a, b, latency=latency)
         self._route_cache.clear()
         self._path_cache.clear()
+        self._plan_cache.clear()
         row = self._row_of.get(link.key)
         if row is None:
             self._row_of[link.key] = len(self._row_bw)
@@ -352,6 +506,7 @@ class Network:
         link.up = up
         self._route_cache.clear()
         self._path_cache.clear()
+        self._plan_cache.clear()
         if up:
             self.graph.add_edge(a, b, latency=link.latency)
         else:
@@ -445,6 +600,74 @@ class Network:
         return out
 
     # ------------------------------------------------------------------
+    # cross-shard boundary links
+    # ------------------------------------------------------------------
+    #: floor for a boundary link's effective bandwidth (bytes/s): even a
+    #: fully oversubscribed boundary keeps draining so local flows cannot
+    #: stall forever on remote load alone
+    MIN_EFFECTIVE_BANDWIDTH = 1.0
+
+    def link_load(self, a: str, b: str) -> float:
+        """Locally allocated rate over one link (bytes/s), post-flush.
+
+        This is the per-shard "rate summary" exchanged at the windowed
+        barrier: each shard publishes its own allocation on a boundary
+        link, and peers subtract the remote total from the link's
+        effective capacity via :meth:`set_remote_load`.  Returns 0.0 when
+        this network has no such link (a shard with no crossing clients).
+        """
+        key = frozenset((a, b))
+        if key not in self._links:
+            return 0.0
+        self.flush()
+        inf = float("inf")
+        load = 0.0
+        # sorted: float accumulation order must not depend on set order
+        for fid in sorted(self._members.get(self._row_of[key], ())):
+            rate = self._flows[fid].rate
+            if 0 < rate < inf:
+                load += rate
+        return load
+
+    def set_remote_load(self, a: str, b: str, load: float) -> None:
+        """Reserve remote (cross-shard) load on a boundary link.
+
+        The link's *effective* bandwidth seen by every water-fill path
+        becomes ``max(physical - load, MIN_EFFECTIVE_BANDWIDTH)``; the
+        physical capacity (and :meth:`link_utilization` denominators) are
+        unchanged.  Local flows over the link are re-rated when the
+        effective value moves.  The remote figure is one barrier window
+        stale by construction — the bounded-staleness contract measured by
+        :mod:`repro.lon.shard`.
+        """
+        if load < 0:
+            raise ValueError("remote load must be non-negative")
+        key = frozenset((a, b))
+        link = self._links.get(key)
+        if link is None:
+            raise NoRouteError(f"no direct link {a} <-> {b}")
+        row = self._row_of[key]
+        eff = max(link.bandwidth - load, self.MIN_EFFECTIVE_BANDWIDTH)
+        if eff == self._row_bw[row]:
+            return
+        self._row_bw[row] = eff
+        self._row_bw_arr = None
+        self._row_over[row] = (
+            self._row_unc[row] > 0 or self._row_capload[row] > eff
+        )
+        if row in self._members:
+            self._poke((row,))
+
+    def has_link(self, a: str, b: str) -> bool:
+        """Whether a direct link ``a <-> b`` exists in this topology."""
+        return frozenset((a, b)) in self._links
+
+    def link_capacity(self, a: str, b: str) -> float:
+        """Physical bandwidth of a direct link (0.0 when absent)."""
+        link = self._links.get(frozenset((a, b)))
+        return link.bandwidth if link is not None else 0.0
+
+    # ------------------------------------------------------------------
     # flows
     # ------------------------------------------------------------------
     @property
@@ -505,6 +728,115 @@ class Network:
         else:
             self._poke(self._rows_for(flow))
         return flow
+
+    def admission_plan(
+        self, items: Sequence[Tuple[str, str, int]]
+    ) -> AdmissionPlan:
+        """Precompute a vectorized admission plan for one same-timestamp
+        batch of ``(src, dst, size)`` transfers.
+
+        All array math happens here — path/row resolution shared per
+        unique path, initial rate seeding (``tcp_window / rtt``),
+        serialization ETAs and the interleaved quiet-link verdicts — so
+        :meth:`AdmissionPlan.admit` only commits per-flow state.  Falls
+        back to a pass-through plan (``vector_ok`` False) when any item
+        cannot be planned; the batch then admits through scalar
+        :meth:`transfer` item by item.
+        """
+        plan = AdmissionPlan(self, list(items))
+        n = len(plan.items)
+        full = self.rebalance_mode == "full"
+        if n == 0 or (not full and self.tcp_window is None):
+            return plan
+        # per-pair plan cache: path, propagation, TCP rate cap and link
+        # rows resolve once per (src, dst) across *all* batches (the
+        # common case — one batch drains one depot, and depots recur).
+        # The cap is the exact scalar expression so cached and uncached
+        # admissions stay bit-equal.
+        plan_cache = self._plan_cache
+        links_list: List[Tuple[FrozenSet[str], ...]] = []
+        props: List[float] = []
+        caps_list: List[float] = []
+        row_ids: List[Tuple[int, ...]] = []
+        row_arrs: List[np.ndarray] = []
+        for src, dst, size in plan.items:
+            if src == dst or size < 0:
+                return plan
+            pair = (src, dst)
+            hit = plan_cache.get(pair)
+            if hit is None:
+                try:
+                    links, prop = self._resolve_path(src, dst)
+                except NoRouteError:
+                    return plan
+                ids = tuple(self._row_of[lk] for lk in links)
+                cap = (
+                    float("inf") if self.tcp_window is None
+                    else self.tcp_window / max(2.0 * prop, 1e-6)
+                )
+                hit = (links, prop, cap, ids, np.array(ids, dtype=np.intp))
+                plan_cache[pair] = hit
+            links_list.append(hit[0])
+            props.append(hit[1])
+            caps_list.append(hit[2])
+            row_ids.append(hit[3])
+            row_arrs.append(hit[4])
+        if full:
+            # full mode pins _quiet to False, so no verdicts or ETAs are
+            # needed: every item commits "loud" and finish() feeds one
+            # coalesced _rebalance_full for the batch.
+            plan._quiet_flags = np.zeros(n, dtype=bool)
+            plan._etas = [0.0] * n
+            plan._full = True
+        else:
+            # initial rate seeding: the scalar expressions, elementwise
+            caps = np.array(caps_list, dtype=float)
+            sizes = np.fromiter(
+                (it[2] for it in plan.items), dtype=float, count=n
+            )
+            ser = sizes / caps
+            now = self.queue.now
+            etas = np.maximum(now + ser, now)
+            # interleaved quiet verdicts: walk the batch once,
+            # accumulating each row's simulated cap-sum load from its
+            # live value in item order — the same left-fold float
+            # accumulation scalar _admit performs, so every verdict
+            # equals the interleaved scalar _quiet answer.  A row that
+            # crosses its bandwidth stays over for the rest of the batch
+            # (cap-sum load only grows during pure admission), exactly
+            # like the live _row_over latch.
+            capload, unc, over, bw = (
+                self._row_capload, self._row_unc,
+                self._row_over, self._row_bw,
+            )
+            sim: Dict[int, float] = {}
+            flags = np.empty(n, dtype=bool)
+            for i in range(n):
+                cap = caps_list[i]
+                quiet = True
+                for r in row_ids[i]:
+                    if unc[r] > 0 or over[r]:
+                        quiet = False  # over before the batch even starts
+                        continue
+                    load = sim.get(r)
+                    if load is None:
+                        load = capload[r]
+                    load += cap
+                    sim[r] = load
+                    if load > bw[r]:
+                        quiet = False
+                flags[i] = quiet
+            plan._quiet_flags = flags
+            # plain floats: np scalars must not leak into event
+            # timestamps (fingerprints call float.hex()) or flow math
+            plan._etas = [float(e) for e in etas]
+        plan._links = links_list
+        plan._props = props
+        plan._caps = caps_list
+        plan._row_ids = row_ids
+        plan._row_arrs = row_arrs
+        plan.vector_ok = True
+        return plan
 
     def cancel_flow(self, flow: Flow) -> None:
         """Abort an in-flight transfer without invoking callbacks."""
@@ -968,7 +1300,10 @@ class Network:
             w = weight[fid]
             for lk in f.path_links:
                 if lk not in caps:
-                    caps[lk] = self._links[lk].bandwidth
+                    # effective row bandwidth, not Link.bandwidth: all
+                    # three water-fill paths must see the same capacity,
+                    # including any cross-shard remote-load reservation
+                    caps[lk] = self._row_bw[self._row_of[lk]]
                     members[lk] = []
                     live_weight[lk] = 0.0
                 members[lk].append(fid)

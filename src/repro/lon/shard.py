@@ -21,6 +21,22 @@ as a single ``run_until`` — so ``workers=N`` is bit-identical to
 ``workers=1``, which is what the determinism suite checks
 (:func:`repro.analysis.determinism.sharded_fingerprint`).
 
+Fleets no longer have to be link-disjoint.  When
+``MultiClientConfig.cross_shard_fraction > 0`` every shard's crossing
+clients put load on a *shared* campus backbone (``xs-switch`` <->
+``wan-router``); shards then run a two-phase exchange at the existing
+barrier — publish own boundary load, wait, read the siblings' total,
+wait — and reserve the remote total against the link's effective
+bandwidth (:meth:`~repro.lon.network.Network.set_remote_load`).  The
+remote figure is at most one window stale (the bounded-staleness
+contract; the peak ``(own + remote) / capacity`` oversubscription is
+*measured* into :attr:`ShardResult.boundary`, not assumed away), and
+because the sequential ``workers=1`` driver runs the identical protocol
+in the identical shard order, ``workers=N`` stays bit-identical to the
+sequential reference in the crossing case too.  Disjoint fleets
+(``cross_shard_fraction == 0``) skip the exchange entirely and remain
+byte-identical to the original single-wait lockstep.
+
 Merge semantics: per-client metrics concatenate in shard order (the
 contiguous partition preserves global client order); event/transfer
 fingerprint streams concatenate the same way; counters sum; wall-clock is
@@ -33,7 +49,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 from ..lightfield.source import ViewSetSource
 from ..obs.fleet import FleetTrace, WorkerTelemetry, export_telemetry, stitch
@@ -53,6 +77,8 @@ from ..streaming.multiclient import (
 FaultSpec = Dict[str, object]
 
 __all__ = [
+    "BOUNDARY_LINKS",
+    "BoundaryExchange",
     "FaultSpec",
     "ShardResult",
     "ShardedResult",
@@ -73,6 +99,65 @@ BARRIER_TIMEOUT = 600.0
 # typing alias for the picklable per-shard stream records
 EventRecord = Tuple[str, int, str]
 TransferRecord = Tuple[str, str, str, str, str]
+
+#: a boundary link as an ordered node pair
+BoundaryLink = Tuple[str, str]
+
+#: links every shard's copy of the topology may share with its siblings.
+#: Today that is the campus backbone uplink created by
+#: ``MultiClientConfig.cross_shard_fraction > 0``; a shard whose client
+#: block has no crossing clients simply lacks the link (its published
+#: load reads 0.0 and remote loads are not applied there).
+BOUNDARY_LINKS: Tuple[BoundaryLink, ...] = (("xs-switch", "wan-router"),)
+
+
+class BoundaryExchange:
+    """Shared table of per-shard boundary-link loads.
+
+    One row per shard, one column per boundary link.  Backed by a raw
+    ``multiprocessing`` double array when built with a context (workers
+    inherit it through ``Process`` args) or a plain list for the
+    in-process lockstep driver.  :meth:`remote` sums the *other* shards'
+    cells in ascending shard order — a fixed float-accumulation order, so
+    the sequential and parallel drivers produce bit-identical totals.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        links: Tuple[BoundaryLink, ...] = BOUNDARY_LINKS,
+        ctx: Optional[Any] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.links = tuple(links)
+        self.n_shards = n_shards
+        size = n_shards * len(self.links)
+        # ctypes double array and list share the indexing protocol
+        self._cells: Any = (
+            ctx.Array("d", size, lock=False) if ctx is not None
+            else [0.0] * size
+        )
+
+    def publish(
+        self, shard_id: int, loads: Mapping[BoundaryLink, float]
+    ) -> None:
+        """Record one shard's boundary loads for this window."""
+        base = shard_id * len(self.links)
+        for k, lk in enumerate(self.links):
+            self._cells[base + k] = loads.get(lk, 0.0)
+
+    def remote(self, shard_id: int) -> Dict[BoundaryLink, float]:
+        """Sum of every *other* shard's load per boundary link."""
+        m = len(self.links)
+        out: Dict[BoundaryLink, float] = {}
+        for k, lk in enumerate(self.links):
+            total = 0.0
+            for j in range(self.n_shards):
+                if j != shard_id:
+                    total += self._cells[j * m + k]
+            out[lk] = total
+        return out
 
 
 def partition_clients(
@@ -115,6 +200,13 @@ class ShardResult:
     queue_compactions: int
     deduped_transfers: int
     promoted_transfers: int
+    #: scheduler admission counters (batches flushed, submissions
+    #: coalesced, scalar fallbacks) — the vectorized-path liveness signal
+    admission: Dict[str, int] = field(default_factory=dict)
+    #: boundary-exchange measurements (crossing runs only): window count,
+    #: staleness bound (seconds), max own/remote load and the peak
+    #: oversubscription ratio ``(own + remote) / capacity``
+    boundary: Optional[Dict[str, float]] = None
     #: per-client metrics with tracer/obs handles stripped (cross-process)
     per_client: List[SessionMetrics] = field(default_factory=list)
     #: (time.hex(), seq, label) per fired event — only when collected
@@ -250,6 +342,21 @@ class ShardedResult:
         }
         for k, v in self.rebalance_totals().items():
             out[f"rebalance_{k}"] = v
+        admission: Dict[str, int] = {}
+        for s in self.shards:
+            for k, n_adm in s.admission.items():
+                admission[k] = admission.get(k, 0) + n_adm
+        for k, n_adm in admission.items():
+            out[f"admission_{k}"] = n_adm
+        bounds = [s.boundary for s in self.shards if s.boundary is not None]
+        if bounds:
+            out["boundary_staleness_bound"] = self.window
+            out["boundary_windows"] = max(
+                int(b["windows"]) for b in bounds
+            )
+            out["boundary_max_oversubscription"] = round(
+                max(b["max_oversubscription"] for b in bounds), 4
+            )
         return out
 
 
@@ -299,36 +406,31 @@ def _shard_config(
     )
 
 
-def run_shard(
+def _shard_session(
     source: ViewSetSource,
     config: MultiClientConfig,
-    shard_id: int = 0,
-    settle_seconds: float = 60.0,
-    window: float = DEFAULT_WINDOW,
-    collect_streams: bool = False,
-    barrier: Optional[Any] = None,
-    horizon: Optional[float] = None,
-    faults: Optional[List[FaultSpec]] = None,
-    flight_dir: Optional[str] = None,
-) -> ShardResult:
-    """Run one shard's rig to completion, window by window.
+    shard_id: int,
+    settle_seconds: float,
+    window: float,
+    collect_streams: bool,
+    horizon: Optional[float],
+    faults: Optional[List[FaultSpec]],
+    flight_dir: Optional[str],
+    links: Tuple[BoundaryLink, ...],
+) -> Generator[
+    Dict[BoundaryLink, float],
+    Optional[Dict[BoundaryLink, float]],
+    ShardResult,
+]:
+    """One shard's windowed run as a coroutine.
 
-    ``barrier`` (a ``multiprocessing.Barrier``) makes parallel workers
-    advance in conservative lockstep; ``None`` runs the same windows
-    without waiting.  Either way the event stream is identical to a
-    single ``run_until`` over the whole horizon — intermediate horizons
-    only bound how far ahead of its siblings a shard may run.
-
-    ``horizon`` is the simulated stop time *shared by the whole fleet*:
-    barrier-synchronized workers must all walk the same window sequence,
-    so :func:`run_sharded_session` computes one global horizon and hands
-    it to every shard.  ``None`` (standalone use) derives it from this
-    shard's own traces.
-
-    ``faults`` are plain-data :data:`FaultSpec` dicts, scheduled before
-    the run; a traced shard attaches a flight recorder so each fault
-    freezes the telemetry that preceded it, and ``flight_dir`` (when
-    given) receives one dump file per trigger.
+    Setup runs up to the first (empty) yield.  Each later resume advances
+    one window and yields this shard's boundary-link loads; the driver
+    sends back the remote total per link (``None`` when no exchange is
+    active), which is applied through
+    :meth:`~repro.lon.network.Network.set_remote_load` before the next
+    window runs — so every remote figure is at most one window stale.
+    The :class:`ShardResult` is the generator's return value.
     """
     from ..analysis.determinism import _attach_collectors
 
@@ -375,14 +477,42 @@ def run_shard(
         horizon = max(t.duration for t in rig.traces) + settle_seconds
     if window <= 0:
         raise ValueError("window must be positive")
+    net = rig.network
+    caps = {lk: net.link_capacity(*lk) for lk in links}
+    boundary: Optional[Dict[str, float]] = None
+    yield {}  # setup complete — the driver may start its clock
     # measuring how fast the *simulator* runs, not simulated time
     t0 = time.perf_counter()  # repro: allow[SIM001]
     t = 0.0
     while t < horizon:
         t = min(t + window, horizon)
         rig.queue.run_until(t, max_events=200_000_000)
-        if barrier is not None:
-            barrier.wait(BARRIER_TIMEOUT)
+        own = {lk: net.link_load(*lk) for lk in links}
+        remote = yield own
+        if remote is not None:
+            if boundary is None:
+                boundary = {
+                    "windows": 0.0,
+                    "staleness_bound": window,
+                    "max_own_load": 0.0,
+                    "max_remote_load": 0.0,
+                    "max_oversubscription": 0.0,
+                }
+            boundary["windows"] += 1.0
+            for lk in links:
+                o = own.get(lk, 0.0)
+                r = remote.get(lk, 0.0)
+                boundary["max_own_load"] = max(boundary["max_own_load"], o)
+                boundary["max_remote_load"] = max(
+                    boundary["max_remote_load"], r
+                )
+                if caps[lk] > 0.0:
+                    boundary["max_oversubscription"] = max(
+                        boundary["max_oversubscription"],
+                        (o + r) / caps[lk],
+                    )
+                if net.has_link(*lk):
+                    net.set_remote_load(lk[0], lk[1], r)
     for staging in rig.stagings:
         staging.stop()
     for sampler in rig.samplers:
@@ -436,12 +566,132 @@ def run_shard(
         queue_compactions=rig.queue.compactions,
         deduped_transfers=rig.scheduler.registry.stats.deduped,
         promoted_transfers=rig.scheduler.registry.stats.promoted,
+        admission={
+            "batches_flushed": rig.scheduler.stats.batches_flushed,
+            "submissions_coalesced":
+                rig.scheduler.stats.submissions_coalesced,
+            "scalar_fallbacks": rig.scheduler.stats.scalar_fallbacks,
+        },
+        boundary=boundary,
         per_client=list(rig.metrics),
         events=events if collect_streams else None,
         transfers=transfers if collect_streams else None,
         telemetry=telemetry,
         flight_dumps=flight_dumps,
     )
+
+
+def run_shard(
+    source: ViewSetSource,
+    config: MultiClientConfig,
+    shard_id: int = 0,
+    settle_seconds: float = 60.0,
+    window: float = DEFAULT_WINDOW,
+    collect_streams: bool = False,
+    barrier: Optional[Any] = None,
+    horizon: Optional[float] = None,
+    faults: Optional[List[FaultSpec]] = None,
+    flight_dir: Optional[str] = None,
+    exchange: Optional[BoundaryExchange] = None,
+) -> ShardResult:
+    """Run one shard's rig to completion, window by window.
+
+    ``barrier`` (a ``multiprocessing.Barrier``) makes parallel workers
+    advance in conservative lockstep; ``None`` runs the same windows
+    without waiting.  Either way the event stream is identical to a
+    single ``run_until`` over the whole horizon — intermediate horizons
+    only bound how far ahead of its siblings a shard may run.
+
+    ``exchange`` (a :class:`BoundaryExchange`) activates the two-phase
+    boundary protocol: after every window the shard publishes its
+    boundary-link loads, waits at the barrier, reads the other shards'
+    total, and waits again so no sibling overwrites a cell before every
+    reader is done.  Without an exchange the loop is the original
+    single-wait lockstep and the run is bit-identical to a disjoint
+    fleet's.
+
+    ``horizon`` is the simulated stop time *shared by the whole fleet*:
+    barrier-synchronized workers must all walk the same window sequence,
+    so :func:`run_sharded_session` computes one global horizon and hands
+    it to every shard.  ``None`` (standalone use) derives it from this
+    shard's own traces.
+
+    ``faults`` are plain-data :data:`FaultSpec` dicts, scheduled before
+    the run; a traced shard attaches a flight recorder so each fault
+    freezes the telemetry that preceded it, and ``flight_dir`` (when
+    given) receives one dump file per trigger.
+    """
+    links = exchange.links if exchange is not None else ()
+    session = _shard_session(
+        source, config, shard_id, settle_seconds, window, collect_streams,
+        horizon, faults, flight_dir, links,
+    )
+    next(session)  # run setup
+    remote: Optional[Dict[BoundaryLink, float]] = None
+    while True:
+        try:
+            own = session.send(remote)
+        except StopIteration as stop:
+            result: ShardResult = stop.value
+            return result
+        if exchange is not None:
+            exchange.publish(shard_id, own)
+            if barrier is not None:
+                barrier.wait(BARRIER_TIMEOUT)
+            remote = exchange.remote(shard_id)
+            if barrier is not None:
+                barrier.wait(BARRIER_TIMEOUT)
+        elif barrier is not None:
+            barrier.wait(BARRIER_TIMEOUT)
+
+
+def _run_lockstep(
+    source: ViewSetSource,
+    config: MultiClientConfig,
+    blocks: List[Tuple[int, int]],
+    exchange: BoundaryExchange,
+    settle_seconds: float,
+    window: float,
+    collect_streams: bool,
+    horizon: float,
+    faults: Optional[List[FaultSpec]],
+    flight_dir: Optional[str],
+) -> List[ShardResult]:
+    """Sequential reference for the crossing case.
+
+    Every shard's session advances one window per round; boundary loads
+    are exchanged between rounds — the same publish → read protocol the
+    parallel workers run behind the barrier, in the same fixed shard
+    order, so ``workers=N`` is bit-identical to this driver.
+    """
+    sessions = [
+        _shard_session(
+            source, _shard_config(config, start, count, sid), sid,
+            settle_seconds, window, collect_streams, horizon, faults,
+            flight_dir, exchange.links,
+        )
+        for sid, (start, count) in enumerate(blocks)
+    ]
+    for session in sessions:
+        next(session)  # run setup
+    n = len(sessions)
+    remotes: List[Optional[Dict[BoundaryLink, float]]] = [None] * n
+    while True:
+        done: List[ShardResult] = []
+        for sid, session in enumerate(sessions):
+            try:
+                exchange.publish(sid, session.send(remotes[sid]))
+            except StopIteration as stop:
+                done.append(stop.value)
+        if done:
+            if len(done) != n:
+                raise RuntimeError(
+                    "shards diverged in window count; horizon and window "
+                    "must be fleet-global"
+                )
+            return done
+        for sid in range(n):
+            remotes[sid] = exchange.remote(sid)
 
 
 def _worker(
@@ -455,6 +705,7 @@ def _worker(
     horizon: float,
     faults: Optional[List[FaultSpec]],
     flight_dir: Optional[str],
+    exchange: Optional[BoundaryExchange],
     out: Any,
 ) -> None:
     """Worker-process entry point: run one shard, ship the result back."""
@@ -464,6 +715,7 @@ def _worker(
             settle_seconds=settle_seconds, window=window,
             collect_streams=collect_streams, barrier=barrier,
             horizon=horizon, faults=faults, flight_dir=flight_dir,
+            exchange=exchange,
         )
         out.put((shard_id, result, None))
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
@@ -501,8 +753,18 @@ def run_sharded_session(
         raise ValueError("workers must be >= 1")
     workers = min(workers, len(blocks))
     horizon = _global_horizon(source, config, settle_seconds)
+    # shards only interact when crossing clients put load on a shared
+    # boundary link; disjoint fleets keep the exchange-free fast path
+    crossing = config.cross_shard_fraction > 0.0 and len(blocks) > 1
 
     if workers == 1 or len(blocks) == 1:
+        if crossing:
+            shards = _run_lockstep(
+                source, config, blocks, BoundaryExchange(len(blocks)),
+                settle_seconds, window, collect_streams, horizon,
+                faults, flight_dir,
+            )
+            return ShardedResult(shards=shards, workers=1, window=window)
         shards = [
             run_shard(
                 source, _shard_config(config, start, count, shard_id),
@@ -526,6 +788,9 @@ def run_sharded_session(
     # one process per shard; the barrier holds every worker to the same
     # window so no shard runs unboundedly ahead of its siblings
     barrier = ctx.Barrier(len(blocks))
+    exchange = (
+        BoundaryExchange(len(blocks), ctx=ctx) if crossing else None
+    )
     out = ctx.Queue()
     procs: List[Any] = []
     for shard_id, (start, count) in enumerate(blocks):
@@ -535,7 +800,7 @@ def run_sharded_session(
                 source, _shard_config(config, start, count, shard_id),
                 shard_id,
                 settle_seconds, window, collect_streams, barrier,
-                horizon, faults, flight_dir, out,
+                horizon, faults, flight_dir, exchange, out,
             ),
             name=f"shard-{shard_id}",
         )

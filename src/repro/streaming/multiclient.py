@@ -83,6 +83,17 @@ class MultiClientConfig:
     #: gauge/histogram name is prefixed at the factory, so telemetry from
     #: many rigs merges without collisions.  Empty = unnamespaced.
     obs_namespace: str = ""
+    #: fraction of clients (tenths granularity) whose console + agent hang
+    #: off a second campus switch (``xs-switch``) reached over its own
+    #: backbone uplink instead of the department LAN.  Client ``g`` crosses
+    #: iff ``(g % 10) < round(fraction * 10)``, so the assignment depends
+    #: only on the *global* index — sharded runs see the same split.  0.0
+    #: adds no nodes or links (bit-identical to the classic topology).
+    cross_shard_fraction: float = 0.0
+    #: backbone uplink calibration for the ``xs-switch`` ↔ ``wan-router``
+    #: link (None = reuse ``base.wan_bandwidth`` / ``base.wan_latency``)
+    backbone_bandwidth: Optional[float] = None
+    backbone_latency: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_clients < 1:
@@ -91,6 +102,12 @@ class MultiClientConfig:
             raise ValueError("client_index_base must be non-negative")
         if self.start_stagger < 0:
             raise ValueError("start_stagger must be non-negative")
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ValueError("cross_shard_fraction must be in [0, 1]")
+
+    def crosses(self, g: int) -> bool:
+        """Whether global client ``g`` attaches to the backbone switch."""
+        return (g % 10) < int(round(self.cross_shard_fraction * 10))
 
 
 @dataclass
@@ -131,6 +148,9 @@ class MultiClientResult:
     #: shared-scheduler registry effects: cross-client dedup + promotions
     deduped_transfers: int = 0
     promoted_transfers: int = 0
+    #: scheduler admission counters (batches flushed, submissions
+    #: coalesced, scalar fallbacks) — proves the vectorized path is live
+    admission: Dict[str, int] = field(default_factory=dict)
 
     @property
     def events_per_second(self) -> float:
@@ -164,6 +184,7 @@ class MultiClientResult:
             "deduped_transfers": self.deduped_transfers,
             "promoted_transfers": self.promoted_transfers,
             **{f"rebalance_{k}": v for k, v in self.rebalance.items()},
+            **{f"admission_{k}": v for k, v in self.admission.items()},
         }
 
 
@@ -186,14 +207,33 @@ def build_multiclient_rig(
     # --- shared topology --------------------------------------------------
     base_idx = config.client_index_base
     lan_hosts = [f"lan-depot-{i}" for i in range(base.n_lan_depots)]
+    xs_hosts: List[str] = []
     for i in range(config.n_clients):
         g = base_idx + i
-        lan_hosts += [f"client-{g}", f"agent-{g}"]
+        side = xs_hosts if config.crosses(g) else lan_hosts
+        side += [f"client-{g}", f"agent-{g}"]
     net.add_node("lan-switch")
     for h in lan_hosts:
         net.add_link(h, "lan-switch", base.lan_bandwidth, base.lan_latency)
     net.add_link("lan-switch", "wan-router", base.wan_bandwidth,
                  base.wan_latency)
+    if xs_hosts:
+        # crossing clients live on a second campus switch with its own
+        # backbone uplink — the link every shard's crossing traffic shares,
+        # so sharded runs must exchange its load at barriers (lon.shard)
+        net.add_node("xs-switch")
+        for h in xs_hosts:
+            net.add_link(h, "xs-switch", base.lan_bandwidth,
+                         base.lan_latency)
+        net.add_link("xs-switch", "lan-switch", base.lan_bandwidth,
+                     base.lan_latency)
+        bb_bw = (config.backbone_bandwidth
+                 if config.backbone_bandwidth is not None
+                 else base.wan_bandwidth)
+        bb_lat = (config.backbone_latency
+                  if config.backbone_latency is not None
+                  else base.wan_latency)
+        net.add_link("xs-switch", "wan-router", bb_bw, bb_lat)
     wan_hosts = [f"ca-depot-{i}" for i in range(base.n_wan_depots)]
     wan_hosts += ["server", "dvs"]
     for h in wan_hosts:
@@ -219,6 +259,7 @@ def build_multiclient_rig(
         obs = MetricsRegistry(namespace=config.obs_namespace)
     scheduler = TransferScheduler(
         net, policy=base.scheduling_policy, tracer=tracer,
+        vectorize_threshold=base.scheduler_vectorize_threshold,
     )
     lors = LoRS(queue, net, lbone, scheduler=scheduler)
 
@@ -415,4 +456,10 @@ def run_multiclient_session(
         queue_compactions=rig.queue.compactions,
         deduped_transfers=rig.scheduler.registry.stats.deduped,
         promoted_transfers=rig.scheduler.registry.stats.promoted,
+        admission={
+            "batches_flushed": rig.scheduler.stats.batches_flushed,
+            "submissions_coalesced":
+                rig.scheduler.stats.submissions_coalesced,
+            "scalar_fallbacks": rig.scheduler.stats.scalar_fallbacks,
+        },
     )

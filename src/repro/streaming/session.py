@@ -127,6 +127,10 @@ class SessionConfig:
     #: component size (flows) at which a water-fill takes the numpy path
     #: instead of the scalar loop (forwarded to Network)
     network_vectorize_threshold: int = 24
+    #: same-timestamp submission count at which the scheduler admits the
+    #: batch through the vectorized plan instead of per-spec scalar
+    #: bookkeeping (forwarded to TransferScheduler); bit-equal either way
+    scheduler_vectorize_threshold: int = 6
 
     def __post_init__(self) -> None:
         if self.case not in (1, 2, 3):
@@ -141,6 +145,8 @@ class SessionConfig:
             )
         if self.network_vectorize_threshold < 2:
             raise ValueError("network_vectorize_threshold must be >= 2")
+        if self.scheduler_vectorize_threshold < 2:
+            raise ValueError("scheduler_vectorize_threshold must be >= 2")
 
 
 @dataclass
@@ -217,6 +223,7 @@ def build_rig(source: ViewSetSource, config: SessionConfig) -> SessionRig:
         on_event=(metrics.record_transfer_event
                   if config.record_transfer_events else None),
         tracer=tracer,
+        vectorize_threshold=config.scheduler_vectorize_threshold,
     )
     lors = LoRS(queue, net, lbone, scheduler=scheduler)
 

@@ -103,3 +103,65 @@ class TestBatchedFlush:
                       "component_flows"):
             assert getattr(bat_net.stats, field) == \
                 getattr(inc_net.stats, field), field
+
+
+class TestFullModeAdmissionPlan:
+    """Full rebalance has no quiet fast path — every scalar transfer pays
+    a synchronous ``_rebalance_full``.  An admission plan defers those
+    into one ``finish()`` flush; same-timestamp full recomputes are
+    idempotent on settle/max-min state, so completions stay bit-equal."""
+
+    ITEMS = [("leaf0", "leaf3", 300_000), ("leaf1", "leaf4", 500_000),
+             ("leaf2", "leaf5", 250_000), ("leaf0", "leaf4", 400_000)]
+
+    def _run(self, batched):
+        q = EventQueue()
+        net = star(q, n_leaves=6, bandwidth=mbps(5), rebalance="full")
+        done = []
+        if batched:
+            plan = net.admission_plan(self.ITEMS)
+            assert plan.vector_ok
+            for j in range(len(self.ITEMS)):
+                plan.admit(j, lambda f: done.append(f.finish_time),
+                           None, f"x{j}", 1.0)
+            plan.finish()
+        else:
+            for j, (src, dst, size) in enumerate(self.ITEMS):
+                net.transfer(src, dst, size,
+                             lambda f: done.append(f.finish_time),
+                             label=f"x{j}")
+        q.run()
+        return net, done
+
+    def test_completions_bit_equal_to_scalar(self):
+        _, scalar = self._run(batched=False)
+        _, batched = self._run(batched=True)
+        assert [t.hex() for t in scalar] == [t.hex() for t in batched]
+
+    def test_one_flush_replaces_per_item_recomputes(self):
+        s_net, _ = self._run(batched=False)
+        b_net, _ = self._run(batched=True)
+        # scalar: one synchronous recompute per admit; batched: one for
+        # the whole plan (completion-time recomputes are identical)
+        saved = len(self.ITEMS) - 1
+        assert s_net.stats.full_recomputes - b_net.stats.full_recomputes \
+            == saved
+        assert b_net.stats.coalesced == saved
+
+    def test_degraded_plan_reverts_to_scalar_pokes(self):
+        q = EventQueue()
+        net = star(q, n_leaves=6, bandwidth=mbps(5), rebalance="full")
+        done = []
+        plan = net.admission_plan(self.ITEMS)
+        plan.admit(0, lambda f: done.append(f.finish_time), None, "x0", 1.0)
+        plan.skip()  # a mid-batch divergence degrades the plan...
+        for j in range(1, len(self.ITEMS)):
+            plan.admit(j, lambda f: done.append(f.finish_time),
+                       None, f"x{j}", 1.0)
+        plan.finish()
+        q.run()
+        # ...so later admits poke immediately and nothing stays deferred
+        _, scalar = self._run(batched=False)
+        assert [t.hex() for t in done] == [t.hex() for t in scalar]
+
+
