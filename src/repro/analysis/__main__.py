@@ -4,10 +4,13 @@ Usage::
 
     python -m repro.analysis lint src [tests ...] [--rule SIM001 ...]
     python -m repro.analysis determinism [--clients N] [--runs N] ...
+    python -m repro.analysis races [--shards N] [--workers N] ...
 
 ``lint`` exits 0 when clean, 1 on findings, 2 on usage errors;
 ``determinism`` exits 0 when every scenario is bit-reproducible, 1 when any
-run diverges (printing the first divergent event).
+run diverges (printing the first divergent event); ``races`` exits 0 when
+the monitored boundary-exchange run is race-free (and, with ``--runs`` >
+1, the access-log digests match), 1 on the first conflicting pair.
 """
 
 from __future__ import annotations
@@ -125,7 +128,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint.main(rest)
     if command == "determinism":
         return _determinism_main(rest)
-    print(f"unknown command {command!r}; expected 'lint' or 'determinism'",
+    if command == "races":
+        from .races import main as races_main
+
+        return races_main(rest)
+    print(f"unknown command {command!r}; expected 'lint', 'determinism' "
+          "or 'races'",
           file=sys.stderr)
     return 2
 

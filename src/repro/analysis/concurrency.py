@@ -1,0 +1,586 @@
+"""Concurrency-correctness lint passes for the sharded simulator core.
+
+The sharded fleet (:mod:`repro.lon.shard`) added a genuinely concurrent
+plane to an otherwise deterministic simulator: worker processes advancing
+in barrier lockstep, a lock-free ``mp.Array`` boundary-load table with a
+two-phase publish/read protocol, and pickled result/telemetry payloads.
+The SIM001–SIM005 passes (:mod:`repro.analysis.lint`) cannot see any of
+that — these five can.
+
+Rules
+-----
+``SIM006`` shared-array-write-outside-publish
+    A subscript store into a shared ``multiprocessing`` array (a name or
+    attribute bound from ``ctx.Array`` / ``mp.Array`` / ``RawArray``, or
+    the exchange's ``_cells`` table) outside a ``publish*`` helper or
+    ``__init__``.  The boundary protocol's safety argument is that writes
+    happen *only* in the publish phase; a write anywhere else races the
+    sibling shards' reads.
+``SIM007`` unpicklable-worker-capture
+    A lambda, nested function, or a value bound to a lock / open file
+    handle / tracer passed across a worker boundary (``Process(target=…,
+    args=…)``, ``queue.put(…)``, ``pool.map/…``, ``executor.submit``).
+    Under the ``spawn`` start method these fail at pickle time; under
+    ``fork`` they silently alias process state the child must not share.
+``SIM008`` unordered-float-accumulation
+    ``sum(…)`` over a set-typed iterable, or a float ``+=`` inside a
+    ``for`` over a set, in a function that can reach a fingerprint or
+    boundary-summary sink.  Float addition is not associative: iteration
+    order leaks into the digest and breaks the cross-run/cross-worker
+    bit-identity contract.  (``math.fsum`` is exempt — it is
+    order-independent by construction.)
+``SIM009`` barrier-phase-violation
+    A ``remote()`` read before a ``publish()`` write in the same window
+    scope, or a publish→read / read→publish transition inside a barrier
+    loop with no ``barrier.wait`` between the phases.  The two-phase
+    protocol requires write → barrier → read → barrier; collapsing a
+    phase reads a sibling's cell while it may still be written.
+``SIM010`` unstable-identity-key
+    ``id()`` or builtin ``hash()`` feeding code that can reach a
+    fingerprint or scheduling sink.  ``id`` is a memory address;
+    ``hash(str)`` is salted per process (PYTHONHASHSEED) — neither is
+    stable across workers or runs.  Use ``zlib.crc32`` (the codebase
+    idiom) or an explicit key.
+
+All five run only over simulator packages (same scope as SIM001) and
+honour the shared ``# repro: allow[...]`` suppression syntax.  SIM008 and
+SIM010 consult the inter-procedural :class:`~repro.analysis.dataflow.\
+ProjectIndex`; a single-module index is built on the fly when the caller
+does not supply a project-wide one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .dataflow import ProjectIndex
+from .lint import RULES, Finding, _dotted, _SetTypeIndex
+
+__all__ = ["CONCURRENCY_RULES", "check_concurrency"]
+
+#: rule id -> (slug, one-line description).  The entries are registered
+#: in :data:`repro.analysis.lint.RULES` (the single source of truth for
+#: ids, slugs, ``--rule`` validation and suppression); this view just
+#: scopes them to the passes implemented here.
+CONCURRENCY_RULES: Dict[str, Tuple[str, str]] = {
+    rule: RULES[rule]
+    for rule in ("SIM006", "SIM007", "SIM008", "SIM009", "SIM010")
+}
+
+#: shared-memory array constructors (bare callee names)
+_SHARED_ARRAY_FACTORIES = frozenset({
+    "Array", "RawArray", "RawValue", "Value",
+})
+
+#: constructors producing values that must never cross a process boundary
+_UNPICKLABLE_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Tracer", "open",
+})
+
+#: pool fan-out methods (receiver must look like a pool)
+_POOL_METHODS = frozenset({
+    "map", "imap", "imap_unordered", "starmap", "apply", "apply_async",
+    "map_async", "starmap_async",
+})
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    fn = node.func
+    if isinstance(fn, ast.Name):
+        return fn.id
+    if isinstance(fn, ast.Attribute):
+        return fn.attr
+    return None
+
+
+def _last_segment(node: ast.expr) -> Optional[str]:
+    """Final identifier of a Name/Attribute chain (``self._exchange`` →
+    ``_exchange``)."""
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    return dotted.split(".")[-1]
+
+
+def _contains_factory_call(node: ast.expr,
+                           factories: frozenset[str]) -> bool:
+    """Does any call inside ``node`` hit one of the factories?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = _callee_name(sub)
+            if name in factories:
+                return True
+    return False
+
+
+class _ModuleFacts:
+    """One pre-walk collecting the name environments every rule needs."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        #: names / attrs bound (anywhere) from a shared-array factory
+        self.shared_names: set[str] = set()
+        self.shared_attrs: set[str] = {"_cells"}
+        #: names bound from an unpicklable factory -> factory name
+        self.unpicklable_names: Dict[str, str] = {}
+        #: names bound from a ``*Exchange*(...)`` construction or
+        #: annotated with an Exchange type
+        self.exchange_names: set[str] = set()
+        #: function defs nested inside another function (closure hazards)
+        self.nested_defs: set[str] = set()
+        self._collect(tree)
+
+    def _collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for sub in ast.walk(node):
+                    if sub is node:
+                        continue
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                        self.nested_defs.add(sub.name)
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value, annotation = node.value, node.annotation
+            elif isinstance(node, ast.arg) and node.annotation is not None:
+                ann_name = _last_segment(node.annotation) or ""
+                if "exchange" in ann_name.lower():
+                    self.exchange_names.add(node.arg)
+                continue
+            else:
+                continue
+            if annotation is not None:
+                ann_name = _last_segment(annotation) or ""
+                if "exchange" in ann_name.lower():
+                    for t in targets:
+                        if isinstance(t, ast.Name):
+                            self.exchange_names.add(t.id)
+            if value is None:
+                continue
+            shared = _contains_factory_call(value, _SHARED_ARRAY_FACTORIES)
+            factory: Optional[str] = None
+            if isinstance(value, ast.Call):
+                name = _callee_name(value)
+                if name in _UNPICKLABLE_FACTORIES:
+                    factory = name
+                if name is not None and "exchange" in name.lower():
+                    for t in targets:
+                        if isinstance(t, ast.Name):
+                            self.exchange_names.add(t.id)
+            for t in targets:
+                if shared:
+                    if isinstance(t, ast.Name):
+                        self.shared_names.add(t.id)
+                    elif isinstance(t, ast.Attribute):
+                        self.shared_attrs.add(t.attr)
+                if factory is not None and isinstance(t, ast.Name):
+                    self.unpicklable_names[t.id] = factory
+
+    # ------------------------------------------------------------------
+    def is_exchange(self, node: ast.expr) -> bool:
+        last = _last_segment(node)
+        if last is None:
+            return False
+        return "exchange" in last.lower() or last in self.exchange_names
+
+    def is_barrier(self, node: ast.expr) -> bool:
+        last = _last_segment(node)
+        return last is not None and "barrier" in last.lower()
+
+    def is_shared_store(self, target: ast.expr) -> bool:
+        """Is ``target`` a subscript into a shared array?"""
+        if not isinstance(target, ast.Subscript):
+            return False
+        base = target.value
+        if isinstance(base, ast.Name):
+            return base.id in self.shared_names
+        if isinstance(base, ast.Attribute):
+            return base.attr in self.shared_attrs
+        return False
+
+
+#: one exchange-protocol operation: kind in {"P", "R", "W"} + its call
+_Op = Tuple[str, ast.Call]
+
+
+class _Checker(ast.NodeVisitor):
+    """Single walk running SIM006–SIM008 and SIM010; SIM009 runs its own
+    per-function scope scan (the phase model is statement-structured, not
+    node-local)."""
+
+    def __init__(
+        self,
+        path: str,
+        facts: _ModuleFacts,
+        set_index: _SetTypeIndex,
+        index: ProjectIndex,
+    ) -> None:
+        self.path = path
+        self.facts = facts
+        self.set_index = set_index
+        self.index = index
+        self.findings: List[Finding] = []
+        self._func_names: List[str] = []
+        self._set_loop_depth = 0
+
+    # -- plumbing ------------------------------------------------------
+    def flag(self, node: ast.AST, rule: str, message: str,
+             hint: str) -> None:
+        self.findings.append(Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+            hint=hint,
+        ))
+
+    @property
+    def _sink_feeding(self) -> bool:
+        return any(
+            self.index.is_sink_feeding(name) for name in self._func_names
+        )
+
+    def _visit_func(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._func_names.append(node.name)
+        _PhaseScanner(self, node).run()
+        self.generic_visit(node)
+        self._func_names.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    # -- SIM006: shared-array write outside publish helpers ------------
+    def _allowed_writer(self) -> bool:
+        if not self._func_names:
+            return False
+        name = self._func_names[-1]
+        return name.startswith("publish") or name == "__init__"
+
+    def _check_store(self, targets: Sequence[ast.expr],
+                     node: ast.stmt) -> None:
+        for target in targets:
+            if self.facts.is_shared_store(target) \
+                    and not self._allowed_writer():
+                assert isinstance(target, ast.Subscript)
+                what = _dotted(target.value) or "shared array"
+                self.flag(
+                    node, "SIM006",
+                    f"write to shared array {what!r} outside a "
+                    "publish-phase helper",
+                    "route shared-table writes through the exchange's "
+                    "publish() so the barrier protocol covers them",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_store(node.targets, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store([node.target], node)
+        self._check_accumulation(node)
+        self.generic_visit(node)
+
+    # -- SIM007: unpicklable values crossing a worker boundary ---------
+    def _unpicklable_reason(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Lambda):
+            return "a lambda"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.facts.nested_defs:
+                return f"nested function {expr.id!r}"
+            factory = self.facts.unpicklable_names.get(expr.id)
+            if factory == "open":
+                return f"open file handle {expr.id!r}"
+            if factory is not None:
+                return f"{expr.id!r} (a {factory})"
+            return None
+        if isinstance(expr, ast.Call):
+            name = _callee_name(expr)
+            if name == "open":
+                return "an open file handle"
+            if name in _UNPICKLABLE_FACTORIES:
+                return f"a fresh {name}()"
+            return None
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for elt in expr.elts:
+                reason = self._unpicklable_reason(elt)
+                if reason is not None:
+                    return reason
+        return None
+
+    def _boundary_payloads(self, node: ast.Call) -> List[ast.expr]:
+        """Expressions this call ships across a process boundary."""
+        name = _callee_name(node)
+        if name is None:
+            return []
+        fn = node.func
+        recv = (_last_segment(fn.value) or ""
+                if isinstance(fn, ast.Attribute) else "")
+        recv = recv.lower()
+        if name == "put" and isinstance(fn, ast.Attribute):
+            return list(node.args)
+        if name in _POOL_METHODS and "pool" in recv:
+            return list(node.args)
+        if name == "submit" and ("pool" in recv or "executor" in recv):
+            return list(node.args)
+        if name in ("Process", "Pool", "Thread"):
+            payloads: List[ast.expr] = []
+            for kw in node.keywords:
+                if kw.arg in ("target", "args", "kwargs", "initargs",
+                              "initializer"):
+                    payloads.append(kw.value)
+            return payloads
+        return []
+
+    def _check_worker_boundary(self, node: ast.Call) -> None:
+        for payload in self._boundary_payloads(node):
+            reason = self._unpicklable_reason(payload)
+            if reason is not None:
+                self.flag(
+                    payload, "SIM007",
+                    f"{reason} crosses a worker process boundary",
+                    "ship plain data (module-level functions, dataclasses "
+                    "of primitives); rebuild live handles on the far side",
+                )
+
+    # -- SIM008: unordered float accumulation --------------------------
+    def _iter_is_unordered(self, it: ast.expr) -> bool:
+        return self.set_index.names_set_expr(it)
+
+    def _check_sum(self, node: ast.Call) -> None:
+        if not (self._sink_feeding and node.args):
+            return
+        arg = node.args[0]
+        unordered: Optional[ast.expr] = None
+        if isinstance(arg, (ast.GeneratorExp, ast.SetComp)):
+            for gen in arg.generators:
+                if self._iter_is_unordered(gen.iter):
+                    unordered = gen.iter
+                    break
+        elif self._iter_is_unordered(arg):
+            unordered = arg
+        if unordered is not None:
+            what = _dotted(unordered) or "a set expression"
+            self.flag(
+                node, "SIM008",
+                f"sum() over unordered {what} in fingerprint-feeding code",
+                "iterate sorted(...) (or use math.fsum) — float addition "
+                "order leaks into digests",
+            )
+
+    def _check_accumulation(self, node: ast.AugAssign) -> None:
+        if not (self._sink_feeding and self._set_loop_depth > 0):
+            return
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        target = node.target
+        if not isinstance(target, (ast.Name, ast.Attribute)):
+            # d[k] += x with a per-iteration key updates independent
+            # cells — only scalar accumulators fold the whole iteration
+            # into one order-sensitive float
+            return
+        value = node.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, int):
+            return  # integer counters are order-insensitive
+        what = _dotted(target) or "accumulator"
+        self.flag(
+            node, "SIM008",
+            f"float accumulation into {what!r} while iterating a set in "
+            "fingerprint-feeding code",
+            "iterate sorted(...) so the accumulation order is fixed",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        entered = self._iter_is_unordered(node.iter)
+        if entered:
+            self._set_loop_depth += 1
+        self.generic_visit(node)
+        if entered:
+            self._set_loop_depth -= 1
+
+    # -- SIM010: unstable identity keys --------------------------------
+    def _check_identity_key(self, node: ast.Call) -> None:
+        fn = node.func
+        if not isinstance(fn, ast.Name) or fn.id not in ("id", "hash"):
+            return
+        if not self._sink_feeding:
+            return
+        if fn.id == "id":
+            detail = "id() is a memory address — unique per process, " \
+                     "reused after GC"
+        else:
+            detail = "hash() of str/bytes is salted per process " \
+                     "(PYTHONHASHSEED)"
+        self.flag(
+            node, "SIM010",
+            f"{detail}; unstable as a cross-process or fingerprint key",
+            "use zlib.crc32(key.encode()) or an explicit stable key",
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_worker_boundary(node)
+        if isinstance(node.func, ast.Name) and node.func.id == "sum":
+            self._check_sum(node)
+        self._check_identity_key(node)
+        self.generic_visit(node)
+
+
+class _PhaseScanner:
+    """SIM009: the barrier-phase model for one function.
+
+    Every loop body is a *window scope* (one barrier window per
+    iteration); ``if``/``with``/``try`` bodies inline into their parent
+    scope in source order.  Within a scope the exchange-protocol ops form
+    a sequence of P (``publish``), R (``remote`` read) and W
+    (``barrier.wait``):
+
+    * linear check (any scope): an R strictly before a later P is a
+      read-before-publish — the read samples cells the scope has not
+      published yet.
+    * cyclic check (loop scopes containing a barrier wait): walking the
+      op sequence as a cycle, every P→R and R→P transition must cross a
+      W.  ``publish, wait, read, wait`` is the canonical shape; dropping
+      either wait lets a sibling's write land mid-read (or a read sample
+      a half-written row).
+    """
+
+    def __init__(self, checker: _Checker,
+                 func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.checker = checker
+        self.facts = checker.facts
+        self.func = func
+
+    def run(self) -> None:
+        ops = self._scan_block(self.func.body)
+        self._check_linear(ops)
+
+    # -- op extraction -------------------------------------------------
+    def _expr_ops(self, node: ast.AST) -> List[_Op]:
+        ops: List[_Op] = []
+        for sub in ast.walk(node):
+            if not (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)):
+                continue
+            attr = sub.func.attr
+            recv = sub.func.value
+            if attr == "publish" and self.facts.is_exchange(recv):
+                ops.append(("P", sub))
+            elif attr == "remote" and self.facts.is_exchange(recv):
+                ops.append(("R", sub))
+            elif attr == "wait" and self.facts.is_barrier(recv):
+                ops.append(("W", sub))
+        ops.sort(key=lambda op: (op[1].lineno, op[1].col_offset))
+        return ops
+
+    def _scan_block(self, stmts: Sequence[ast.stmt]) -> List[_Op]:
+        ops: List[_Op] = []
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # separate scope, scanned on its own visit
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                ops.extend(self._expr_ops(stmt.iter))
+                ops.extend(self._scan_loop(stmt.body + stmt.orelse))
+            elif isinstance(stmt, ast.While):
+                ops.extend(self._expr_ops(stmt.test))
+                ops.extend(self._scan_loop(stmt.body + stmt.orelse))
+            elif isinstance(stmt, ast.If):
+                ops.extend(self._expr_ops(stmt.test))
+                ops.extend(self._scan_block(stmt.body))
+                ops.extend(self._scan_block(stmt.orelse))
+            elif isinstance(stmt, ast.Try):
+                ops.extend(self._scan_block(stmt.body))
+                for handler in stmt.handlers:
+                    ops.extend(self._scan_block(handler.body))
+                ops.extend(self._scan_block(stmt.orelse))
+                ops.extend(self._scan_block(stmt.finalbody))
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    ops.extend(self._expr_ops(item.context_expr))
+                ops.extend(self._scan_block(stmt.body))
+            else:
+                ops.extend(self._expr_ops(stmt))
+        return ops
+
+    def _scan_loop(self, stmts: Sequence[ast.stmt]) -> List[_Op]:
+        ops = self._scan_block(stmts)
+        self._check_cyclic(ops)
+        return ops
+
+    # -- checks --------------------------------------------------------
+    def _check_linear(self, ops: List[_Op]) -> None:
+        last_p = max(
+            (i for i, (kind, _) in enumerate(ops) if kind == "P"),
+            default=-1,
+        )
+        for i, (kind, node) in enumerate(ops):
+            if kind == "R" and i < last_p:
+                self.checker.flag(
+                    node, "SIM009",
+                    "boundary-exchange read before this scope's publish "
+                    "(read-before-publish)",
+                    "publish this window's loads first; the two-phase "
+                    "protocol is publish -> barrier -> read -> barrier",
+                )
+                return
+
+    def _check_cyclic(self, ops: List[_Op]) -> None:
+        kinds = [kind for kind, _ in ops]
+        if "W" not in kinds or "P" not in kinds or "R" not in kinds:
+            return  # no barrier here: a sequential driver's explicit
+            # interleave, or a single-phase loop — nothing to check
+        n = len(ops)
+        for i, (kind, _) in enumerate(ops):
+            if kind == "W":
+                continue
+            # walk the cycle to the next phase op; a transition between
+            # different phases (P->R or R->P) must cross a W
+            for step in range(1, n):
+                nxt_kind, nxt_node = ops[(i + step) % n]
+                if nxt_kind == "W":
+                    break
+                if nxt_kind != kind:
+                    label = ("read in the same barrier phase as the "
+                             "publish" if nxt_kind == "R"
+                             else "publish in the same barrier phase as "
+                             "the read (publish-after-read)")
+                    self.checker.flag(
+                        nxt_node, "SIM009",
+                        f"boundary-exchange {label}",
+                        "add a barrier.wait between the publish and read "
+                        "phases of the window",
+                    )
+                    return
+                break  # same-kind neighbour (e.g. P,P) is one phase
+
+
+def check_concurrency(
+    tree: ast.AST,
+    path: str,
+    sim_scope: bool,
+    set_index: _SetTypeIndex,
+    index: Optional[ProjectIndex] = None,
+) -> List[Finding]:
+    """Run SIM006–SIM010 over one parsed module.
+
+    ``index`` carries the project-wide call graph; when absent (fixture
+    tests, single-file lints) a single-module index is built from
+    ``tree`` so the sink-reachability queries still resolve locally.
+    """
+    if not sim_scope:
+        return []
+    if index is None:
+        index = ProjectIndex()
+        index.add_module(tree, path)
+    facts = _ModuleFacts(tree)
+    checker = _Checker(path, facts, set_index, index)
+    checker.visit(tree)
+    return checker.findings

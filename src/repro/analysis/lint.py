@@ -37,6 +37,13 @@ Rules
     to within ``1e-12``-class epsilons; exact float comparison on times is
     either dead code or a heisenbug.  Use
     :func:`repro.lon.simtime.time_eq`.
+``SIM006``–``SIM010`` concurrency-correctness passes
+    Shared-array writes outside publish helpers, unpicklable worker
+    captures, unordered float accumulation feeding fingerprints,
+    barrier-phase violations and unstable identity keys — the sharded
+    core's invariants, documented in
+    :mod:`repro.analysis.concurrency` and backed by the
+    inter-procedural call graph in :mod:`repro.analysis.dataflow`.
 
 Suppression
 -----------
@@ -52,7 +59,10 @@ import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+if TYPE_CHECKING:
+    from .dataflow import ProjectIndex
 
 __all__ = ["Finding", "RULES", "lint_source", "lint_paths", "main"]
 
@@ -77,6 +87,30 @@ RULES: dict[str, tuple[str, str]] = {
     "SIM005": (
         "float-time-equality",
         "exact float ==/!= on simulation-time values",
+    ),
+    # SIM006-SIM010 live in repro.analysis.concurrency; the ids are
+    # registered here so Finding.slug, --rule validation and the
+    # suppression syntax treat every pass uniformly
+    "SIM006": (
+        "shared-array-write-outside-publish",
+        "shared mp.Array/BoundaryExchange write outside a publish helper",
+    ),
+    "SIM007": (
+        "unpicklable-worker-capture",
+        "lambda/lock/handle crossing a worker process boundary",
+    ),
+    "SIM008": (
+        "unordered-float-accumulation",
+        "order-sensitive float accumulation over an unordered iterable "
+        "feeding a fingerprint",
+    ),
+    "SIM009": (
+        "barrier-phase-violation",
+        "boundary-exchange read/publish outside its barrier phase",
+    ),
+    "SIM010": (
+        "unstable-identity-key",
+        "id()/salted hash() used as a cross-process or fingerprint key",
     ),
 }
 
@@ -522,16 +556,26 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Iterable[str]] = None,
     sim_scope: Optional[bool] = None,
+    index: Optional["ProjectIndex"] = None,
 ) -> list[Finding]:
     """Run every pass over one module's source text.
 
     ``sim_scope`` overrides the path-based package detection (used by the
     fixture tests); ``rules`` restricts output to a subset of rule ids.
+    ``index`` supplies the project-wide call graph to the concurrency
+    passes (SIM006–SIM010); without one they fall back to a single-module
+    graph.
     """
+    from .concurrency import check_concurrency
+
     tree = ast.parse(source, filename=path)
     scope = is_sim_scope(path) if sim_scope is None else sim_scope
-    checker = _Checker(path, scope, _SetTypeIndex(tree))
+    set_index = _SetTypeIndex(tree)
+    checker = _Checker(path, scope, set_index)
     checker.visit(tree)
+    checker.findings.extend(
+        check_concurrency(tree, path, scope, set_index, index=index)
+    )
     suppressions = _Suppressions(source)
     wanted = set(rules) if rules is not None else None
     out = []
@@ -558,14 +602,36 @@ def lint_paths(
     paths: Sequence[str],
     rules: Optional[Iterable[str]] = None,
 ) -> list[Finding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    findings: list[Finding] = []
+    """Lint every ``.py`` file under the given files/directories.
+
+    Runs in two passes: the first builds the inter-procedural call graph
+    over every simulator-package file (sink reachability must see
+    cross-module edges — ``sharded_fingerprint`` lives two packages away
+    from the scheduler it taints), the second lints each file against
+    that shared index.
+    """
+    from .dataflow import ProjectIndex
+
+    sources: list[tuple[Path, str]] = []
     for file in _iter_python_files(paths):
         try:
-            source = file.read_text(encoding="utf-8")
+            sources.append((file, file.read_text(encoding="utf-8")))
         except (OSError, UnicodeDecodeError):
             continue
-        findings.extend(lint_source(source, str(file), rules=rules))
+    index = ProjectIndex()
+    for file, source in sources:
+        if not is_sim_scope(str(file)):
+            continue
+        try:
+            index.add_module(ast.parse(source, filename=str(file)),
+                             str(file))
+        except SyntaxError:
+            continue
+    findings: list[Finding] = []
+    for file, source in sources:
+        findings.extend(
+            lint_source(source, str(file), rules=rules, index=index)
+        )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
@@ -576,7 +642,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis lint",
-        description="simulation-correctness lint passes (SIM001-SIM005)",
+        description="simulation-correctness lint passes (SIM001-SIM010)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -29,6 +29,7 @@ prefetches, third-party staging copies, uploads) each driving
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -492,8 +493,13 @@ class TransferScheduler:
         # cannot mis-suppress
         keyed = [s.dedup_key for s in specs]
         if any(k is not None for k in keyed):
+            # crc32, not hash(): builtin str hashing is salted per
+            # process (PYTHONHASHSEED), and this pre-pass must reach the
+            # same may_collide verdict in every worker.  crc32 is
+            # non-negative, so the -(i + 1) no-key sentinels stay
+            # distinct from every real key.
             hashes = np.fromiter(
-                (hash(k) if k is not None else -(i + 1)
+                (zlib.crc32(k.encode()) if k is not None else -(i + 1)
                  for i, k in enumerate(keyed)),
                 dtype=np.int64, count=n,
             )

@@ -51,11 +51,13 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import (
     Any,
+    Callable,
     Dict,
     Generator,
     List,
     Mapping,
     Optional,
+    Protocol,
     Tuple,
 )
 
@@ -77,8 +79,10 @@ from ..streaming.multiclient import (
 FaultSpec = Dict[str, object]
 
 __all__ = [
+    "AccessLogRecord",
     "BOUNDARY_LINKS",
     "BoundaryExchange",
+    "ExchangeMonitorLike",
     "FaultSpec",
     "ShardResult",
     "ShardedResult",
@@ -102,6 +106,39 @@ TransferRecord = Tuple[str, str, str, str, str]
 
 #: a boundary link as an ordered node pair
 BoundaryLink = Tuple[str, str]
+
+#: one monitored access to the shared boundary table:
+#: ``(seq, epoch, op, worker, row, col, value, frames)`` — ``seq`` is the
+#: recording process's own counter, ``epoch`` its barrier-window vector
+#: clock (under a global barrier every worker's vector clock collapses to
+#: its scalar barrier-crossing count), ``op`` is ``"write"``/``"read"``,
+#: ``row``/``col`` address the accessed cell and ``frames`` is a short
+#: stack summary for localization.  Plain tuples: the log must pickle
+#: back through the result queue.
+AccessLogRecord = Tuple[int, int, str, int, int, int, float,
+                        Tuple[str, ...]]
+
+
+class ExchangeMonitorLike(Protocol):
+    """Duck type the exchange accepts as an access monitor.
+
+    Implemented by :class:`repro.analysis.races.ExchangeMonitor`;
+    declared here as a Protocol so the simulator core never imports the
+    analysis package.
+    """
+
+    def record(self, op: str, worker: int, row: int, col: int,
+               value: float) -> None:
+        """One cell access by ``worker`` in the current epoch."""
+        ...
+
+    def advance(self) -> None:
+        """A barrier was crossed: bump this process's epoch clock."""
+        ...
+
+    def drain(self) -> List[AccessLogRecord]:
+        """Return (and detach) the records collected so far."""
+        ...
 
 #: links every shard's copy of the topology may share with its siblings.
 #: Today that is the campus backbone uplink created by
@@ -138,6 +175,34 @@ class BoundaryExchange:
             ctx.Array("d", size, lock=False) if ctx is not None
             else [0.0] * size
         )
+        #: optional happens-before monitor (see :meth:`attach_monitor`)
+        self._monitor: Optional[ExchangeMonitorLike] = None
+
+    def attach_monitor(self, monitor: ExchangeMonitorLike) -> None:
+        """Log every cell access into ``monitor`` (race verification).
+
+        Each process keeps its own monitor copy (the wrapper object is
+        forked/pickled per worker while the cells stay shared), so the
+        records and the epoch clock are per-worker by construction —
+        exactly the shape the happens-before check needs.
+        """
+        self._monitor = monitor
+
+    def barrier_crossed(self) -> None:
+        """Hook the drivers call after every barrier crossing.
+
+        A no-op without a monitor; with one it advances this process's
+        barrier-window epoch so each access is stamped with the phase it
+        executed in.
+        """
+        if self._monitor is not None:
+            self._monitor.advance()
+
+    def drain_monitor(self) -> Optional[List[AccessLogRecord]]:
+        """This process's access log, or ``None`` when unmonitored."""
+        if self._monitor is None:
+            return None
+        return self._monitor.drain()
 
     def publish(
         self, shard_id: int, loads: Mapping[BoundaryLink, float]
@@ -145,7 +210,10 @@ class BoundaryExchange:
         """Record one shard's boundary loads for this window."""
         base = shard_id * len(self.links)
         for k, lk in enumerate(self.links):
-            self._cells[base + k] = loads.get(lk, 0.0)
+            value = loads.get(lk, 0.0)
+            self._cells[base + k] = value
+            if self._monitor is not None:
+                self._monitor.record("write", shard_id, shard_id, k, value)
 
     def remote(self, shard_id: int) -> Dict[BoundaryLink, float]:
         """Sum of every *other* shard's load per boundary link."""
@@ -155,7 +223,10 @@ class BoundaryExchange:
             total = 0.0
             for j in range(self.n_shards):
                 if j != shard_id:
-                    total += self._cells[j * m + k]
+                    cell = self._cells[j * m + k]
+                    total += cell
+                    if self._monitor is not None:
+                        self._monitor.record("read", shard_id, j, k, cell)
             out[lk] = total
         return out
 
@@ -218,6 +289,10 @@ class ShardResult:
     telemetry: Optional[WorkerTelemetry] = None
     #: flight-recorder dump files written by this shard
     flight_dumps: List[str] = field(default_factory=list)
+    #: boundary-table access log (only when the exchange was monitored);
+    #: the sequential lockstep driver attaches the fleet-wide log to
+    #: shard 0 — its single monitor observes every shard's accesses
+    access_log: Optional[List[AccessLogRecord]] = None
 
 
 @dataclass
@@ -633,14 +708,18 @@ def run_shard(
             own = session.send(remote)
         except StopIteration as stop:
             result: ShardResult = stop.value
+            if exchange is not None:
+                result.access_log = exchange.drain_monitor()
             return result
         if exchange is not None:
             exchange.publish(shard_id, own)
             if barrier is not None:
                 barrier.wait(BARRIER_TIMEOUT)
+            exchange.barrier_crossed()
             remote = exchange.remote(shard_id)
             if barrier is not None:
                 barrier.wait(BARRIER_TIMEOUT)
+            exchange.barrier_crossed()
         elif barrier is not None:
             barrier.wait(BARRIER_TIMEOUT)
 
@@ -689,9 +768,16 @@ def _run_lockstep(
                     "shards diverged in window count; horizon and window "
                     "must be fleet-global"
                 )
+            # the fleet-wide access log rides on shard 0 (one in-process
+            # monitor observed every shard's accesses)
+            done[0].access_log = exchange.drain_monitor()
             return done
+        # phase boundary: every shard has published this window's loads
+        exchange.barrier_crossed()
         for sid in range(n):
             remotes[sid] = exchange.remote(sid)
+        # phase boundary: every shard has read; cells may be overwritten
+        exchange.barrier_crossed()
 
 
 def _worker(
@@ -722,6 +808,13 @@ def _worker(
         out.put((shard_id, None, repr(exc)))
 
 
+def _default_exchange_factory(
+    n_shards: int, ctx: Optional[Any]
+) -> BoundaryExchange:
+    """The stock exchange — shared ``mp.Array`` cells when ``ctx`` given."""
+    return BoundaryExchange(n_shards, ctx=ctx)
+
+
 def run_sharded_session(
     source: ViewSetSource,
     config: MultiClientConfig,
@@ -733,6 +826,9 @@ def run_sharded_session(
     start_method: Optional[str] = None,
     faults: Optional[List[FaultSpec]] = None,
     flight_dir: Optional[str] = None,
+    exchange_factory: Optional[
+        Callable[[int, Optional[Any]], BoundaryExchange]
+    ] = None,
 ) -> ShardedResult:
     """Partition the fleet into ``n_shards`` rigs and run them all.
 
@@ -745,6 +841,13 @@ def run_sharded_session(
     ``faults``/``flight_dir`` forward to every shard (see
     :func:`run_shard`); a fault spec carrying a ``"shard"`` key only
     fires in that shard.
+
+    ``exchange_factory`` replaces the default
+    ``BoundaryExchange(n_shards, ctx=ctx)`` construction (``ctx`` is
+    ``None`` for the sequential driver).  The race verifier uses it to
+    install a monitored — or deliberately protocol-violating — exchange
+    without touching the drivers.  Only consulted when the run actually
+    crosses shards.
     """
     blocks = partition_clients(config.n_clients, n_shards)
     if workers is None:
@@ -757,10 +860,13 @@ def run_sharded_session(
     # boundary link; disjoint fleets keep the exchange-free fast path
     crossing = config.cross_shard_fraction > 0.0 and len(blocks) > 1
 
+    if exchange_factory is None:
+        exchange_factory = _default_exchange_factory
+
     if workers == 1 or len(blocks) == 1:
         if crossing:
             shards = _run_lockstep(
-                source, config, blocks, BoundaryExchange(len(blocks)),
+                source, config, blocks, exchange_factory(len(blocks), None),
                 settle_seconds, window, collect_streams, horizon,
                 faults, flight_dir,
             )
@@ -789,7 +895,7 @@ def run_sharded_session(
     # window so no shard runs unboundedly ahead of its siblings
     barrier = ctx.Barrier(len(blocks))
     exchange = (
-        BoundaryExchange(len(blocks), ctx=ctx) if crossing else None
+        exchange_factory(len(blocks), ctx) if crossing else None
     )
     out = ctx.Queue()
     procs: List[Any] = []

@@ -10,7 +10,7 @@ light field synthesizer consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, Tuple
+from typing import ClassVar, Dict, Tuple
 
 import numpy as np
 
@@ -88,7 +88,7 @@ class Camera:
 
     # class-level cache of camera-local pixel grids, keyed by geometry —
     # browsing sessions render thousands of frames at one (w, h, fov)
-    _GRID_CACHE: ClassVar[dict] = {}
+    _GRID_CACHE: ClassVar[Dict[Tuple[int, int, float], np.ndarray]] = {}
 
     def rays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Origins ``(N, 3)`` and unit directions ``(N, 3)``, row-major.

@@ -27,7 +27,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from multiprocessing.pool import Pool
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,7 +43,7 @@ __all__ = ["ParallelRenderer", "default_worker_count"]
 # per-process renderer installed by the pool initializer
 _WORKER_RENDERER: Optional[RaycastRenderer] = None
 # per-process cache of attached shared-memory segments, keyed by name
-_WORKER_SHM: dict = {}
+_WORKER_SHM: Dict[str, shared_memory.SharedMemory] = {}
 
 
 def default_worker_count() -> int:
@@ -214,7 +215,7 @@ class ParallelRenderer:
             shm.unlink()
         return frames
 
-    def _pool(self) -> mp.pool.Pool:
+    def _pool(self) -> Pool:
         ctx = mp.get_context(self.start_method)
         return ctx.Pool(
             processes=self.workers,

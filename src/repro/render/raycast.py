@@ -24,7 +24,7 @@ marched steps, and the accelerated path spends none on empty space).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Literal, Optional, Tuple, Union, overload
 
 import numpy as np
 
@@ -129,12 +129,28 @@ class RaycastRenderer:
         rgb = self.render_rays(origins, dirs)
         return rgb.reshape(camera.height, camera.width, 3)
 
+    @overload
+    def render_rays(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        return_transmittance: Literal[False] = ...,
+    ) -> np.ndarray: ...
+
+    @overload
+    def render_rays(
+        self,
+        origins: np.ndarray,
+        dirs: np.ndarray,
+        return_transmittance: Literal[True],
+    ) -> Tuple[np.ndarray, np.ndarray]: ...
+
     def render_rays(
         self,
         origins: np.ndarray,
         dirs: np.ndarray,
         return_transmittance: bool = False,
-    ):
+    ) -> Union[np.ndarray, Tuple[np.ndarray, np.ndarray]]:
         """Composite arbitrary ray bundles; returns ``(N, 3)`` colors.
 
         With ``return_transmittance=True`` returns ``(colors, trans)`` where
@@ -155,6 +171,7 @@ class RaycastRenderer:
 
         if self.settings.accelerated:
             cells = self.prepare()
+            assert cells is not None  # accelerated on ⇒ prepare() built it
             seg_t0, seg_t1, ray_ptr = cells.ray_segments(
                 origins[sel], dirs[sel], t_near[sel], t_far[sel]
             )
@@ -198,7 +215,7 @@ class RaycastRenderer:
         cur: np.ndarray,
         hi: np.ndarray,
         stats: RenderStats,
-    ):
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Front-to-back march of one compacted ray batch over segments.
 
         Ray ``i`` marches the segments ``seg_t0/seg_t1[cur[i]:hi[i]]`` in

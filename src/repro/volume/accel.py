@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
@@ -38,7 +38,9 @@ from .transfer import TransferFunction
 __all__ = ["MacrocellGrid", "ActiveCells"]
 
 
-def _reduce_axis(a: np.ndarray, axis: int, cs: int, op) -> np.ndarray:
+def _reduce_axis(
+    a: np.ndarray, axis: int, cs: int, op: Callable[..., np.ndarray]
+) -> np.ndarray:
     """Overlapping block-reduce along one axis: cell c covers voxel indices
     [c*cs, (c+1)*cs] inclusive (the shared boundary plane)."""
     n = a.shape[axis]

@@ -1,0 +1,423 @@
+"""Fixture tests for the concurrency-correctness passes (SIM006-SIM010).
+
+Same contract as ``test_lint.py``: every rule gets a must-flag and a
+must-not-flag snippet so a pass that goes silent — or one that starts
+flagging the idiomatic sharded core — fails here rather than in CI
+archaeology.  The snippets are lint fixtures, not importable code.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import ProjectIndex
+from repro.analysis.lint import lint_source
+
+SIM_PATH = "src/repro/lon/fake_module.py"
+OUTSIDE_PATH = "benchmarks/fake_bench.py"
+
+
+def run(source, path=SIM_PATH, rules=None):
+    return lint_source(textwrap.dedent(source), path=path, rules=rules)
+
+
+def rule_ids(findings):
+    return sorted({f.rule for f in findings})
+
+
+# ----------------------------------------------------------------------
+# SIM006 shared-array-write-outside-publish
+# ----------------------------------------------------------------------
+class TestSharedArrayWrite:
+    def test_write_outside_publish_flagged(self):
+        findings = run("""
+            import multiprocessing as mp
+
+            class LoadTable:
+                def __init__(self, n):
+                    self._cells = mp.Array("d", n, lock=False)
+
+                def poke(self, i, value):
+                    self._cells[i] = value
+        """)
+        assert rule_ids(findings) == ["SIM006"]
+        assert findings[0].line == 9
+
+    def test_local_array_write_flagged(self):
+        findings = run("""
+            def warm(ctx, n):
+                table = ctx.Array("d", n, lock=False)
+                table[0] = 1.0
+                return table
+        """)
+        assert rule_ids(findings) == ["SIM006"]
+
+    def test_publish_helper_and_init_allowed(self):
+        findings = run("""
+            import multiprocessing as mp
+
+            class Exchange:
+                def __init__(self, n):
+                    self._cells = mp.Array("d", n, lock=False)
+                    self._cells[0] = 0.0
+
+                def publish(self, shard_id, loads):
+                    self._cells[shard_id] = loads.get(shard_id, 0.0)
+        """)
+        assert findings == []
+
+    def test_plain_list_subscript_not_flagged(self):
+        findings = run("""
+            def fill(n):
+                cells = [0.0] * n
+                cells[0] = 1.0
+                return cells
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM007 unpicklable-worker-capture
+# ----------------------------------------------------------------------
+class TestUnpicklableCapture:
+    def test_lambda_through_queue_flagged(self):
+        findings = run("""
+            def ship(out, result):
+                out.put((lambda: result, 0))
+        """)
+        assert rule_ids(findings) == ["SIM007"]
+
+    def test_lock_in_process_args_flagged(self):
+        findings = run("""
+            from threading import Lock
+
+            def launch(ctx, worker):
+                guard = Lock()
+                p = ctx.Process(target=worker, args=(guard, 3))
+                p.start()
+        """)
+        assert rule_ids(findings) == ["SIM007"]
+        assert "Lock" in findings[0].message
+
+    def test_open_handle_in_pool_map_flagged(self):
+        findings = run("""
+            def fan_out(pool, paths):
+                log = open("out.txt", "w")
+                return pool.map(log, paths)
+        """)
+        assert rule_ids(findings) == ["SIM007"]
+
+    def test_nested_function_target_flagged(self):
+        findings = run("""
+            def launch(ctx, payload):
+                def helper():
+                    return payload
+                return ctx.Process(target=helper)
+        """)
+        assert rule_ids(findings) == ["SIM007"]
+
+    def test_plain_data_payloads_allowed(self):
+        # the real _worker/executor idiom: names, tuples, module funcs
+        findings = run("""
+            def worker(out, shard_id, result):
+                out.put((shard_id, result, None))
+
+            def launch(ctx, out, config):
+                return ctx.Process(target=worker, args=(out, 0, config))
+        """)
+        assert findings == []
+
+    def test_internal_sim_process_not_a_boundary(self):
+        # repro.lon's Process(queue, fn, label) is a simulated process,
+        # not an OS one — no target kwarg, no boundary
+        findings = run("""
+            def start(queue, self_tick):
+                return Process(queue, self_tick, "staging-pump")
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM008 unordered-float-accumulation
+# ----------------------------------------------------------------------
+class TestUnorderedAccumulation:
+    def test_sum_over_set_in_digest_flagged(self):
+        findings = run("""
+            from typing import Set
+
+            def shard_digest(self, pending: Set[float]):
+                return sha256(str(sum(x for x in pending)))
+        """)
+        assert rule_ids(findings) == ["SIM008"]
+
+    def test_scalar_accumulator_over_set_flagged(self):
+        findings = run("""
+            from typing import Dict, Set
+
+            def boundary_fingerprint(loads: Dict[str, float],
+                                     links: Set[str]):
+                total = 0.0
+                for lk in links:
+                    total += loads[lk]
+                return _digest(total)
+        """)
+        assert rule_ids(findings) == ["SIM008"]
+
+    def test_sorted_iteration_allowed(self):
+        findings = run("""
+            from typing import Set
+
+            def shard_digest(self, pending: Set[float]):
+                return sha256(str(sum(x for x in sorted(pending))))
+        """)
+        assert findings == []
+
+    def test_non_sink_function_allowed(self):
+        # same accumulation, but nothing downstream feeds a sink
+        findings = run("""
+            from typing import Set
+
+            def tally(pending: Set[float]):
+                return sum(x for x in pending)
+        """)
+        assert findings == []
+
+    def test_per_key_updates_allowed(self):
+        # d[k] -= w touches an independent cell per iteration; only
+        # scalar accumulators are order-sensitive
+        findings = run("""
+            from typing import Dict, Set
+
+            def rates_fingerprint(live: Dict[str, float],
+                                  links: Set[str], w: float):
+                for lk in links:
+                    live[lk] -= w
+                return _digest(live)
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM009 barrier-phase-violation
+# ----------------------------------------------------------------------
+class TestBarrierPhase:
+    def test_read_before_publish_flagged(self):
+        findings = run("""
+            def sync_window(exchange, loads):
+                remote = exchange.remote(0)
+                exchange.publish(0, loads)
+                return remote
+        """)
+        assert rule_ids(findings) == ["SIM009"]
+        assert findings[0].line == 3
+        assert "read-before-publish" in findings[0].message
+
+    def test_missing_second_barrier_flagged(self):
+        findings = run("""
+            def drive(exchange, barrier, windows):
+                for own in windows:
+                    exchange.publish(0, own)
+                    barrier.wait(60.0)
+                    remote = exchange.remote(0)
+                    apply(remote)
+        """)
+        assert rule_ids(findings) == ["SIM009"]
+        assert "publish-after-read" in findings[0].message
+
+    def test_missing_first_barrier_flagged(self):
+        findings = run("""
+            def drive(exchange, barrier, windows):
+                for own in windows:
+                    exchange.publish(0, own)
+                    remote = exchange.remote(0)
+                    barrier.wait(60.0)
+                    apply(remote)
+        """)
+        assert rule_ids(findings) == ["SIM009"]
+
+    def test_two_phase_protocol_allowed(self):
+        # the canonical run_shard loop: publish, wait, read, wait
+        findings = run("""
+            def drive(exchange, barrier, windows):
+                for own in windows:
+                    exchange.publish(0, own)
+                    if barrier is not None:
+                        barrier.wait(60.0)
+                    remote = exchange.remote(0)
+                    if barrier is not None:
+                        barrier.wait(60.0)
+                    apply(remote)
+        """)
+        assert findings == []
+
+    def test_sequential_lockstep_allowed(self):
+        # no barrier at all: the sequential driver's explicit
+        # publish-phase / read-phase interleave
+        findings = run("""
+            def lockstep(exchange, sessions, remotes):
+                while True:
+                    for sid, session in enumerate(sessions):
+                        exchange.publish(sid, session.send(remotes[sid]))
+                    for sid in range(len(sessions)):
+                        remotes[sid] = exchange.remote(sid)
+        """)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SIM010 unstable-identity-key
+# ----------------------------------------------------------------------
+class TestUnstableIdentityKey:
+    def test_hash_feeding_scheduler_flagged(self):
+        findings = run("""
+            def enqueue(queue, key, payload):
+                slot = hash(key)
+                queue.schedule(slot, payload)
+        """)
+        assert rule_ids(findings) == ["SIM010"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_id_as_fingerprint_key_flagged(self):
+        findings = run("""
+            def flow_fingerprint(flows):
+                return _digest({id(f): f.rate for f in flows})
+        """)
+        assert rule_ids(findings) == ["SIM010"]
+        assert "memory address" in findings[0].message
+
+    def test_hash_outside_sink_reach_allowed(self):
+        findings = run("""
+            def bucket(label):
+                return hash(label) % 8
+        """)
+        assert findings == []
+
+    def test_crc32_idiom_allowed(self):
+        findings = run("""
+            import zlib
+
+            def enqueue(queue, key, payload):
+                slot = zlib.crc32(key.encode())
+                queue.schedule(slot, payload)
+        """)
+        assert findings == []
+
+    def test_outside_sim_scope_allowed(self):
+        findings = run("""
+            def enqueue(queue, key, payload):
+                queue.schedule(hash(key), payload)
+        """, path=OUTSIDE_PATH)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the inter-procedural layer
+# ----------------------------------------------------------------------
+class TestProjectIndex:
+    def test_reaches_sink_through_helper(self):
+        index = ProjectIndex()
+        index.add_module(ast.parse(textwrap.dedent("""
+            def outer(q):
+                helper(q)
+
+            def helper(q):
+                q.schedule(1.0, "x")
+        """)), "m.py")
+        assert index.is_sink_feeding("helper")
+        assert index.is_sink_feeding("outer")
+
+    def test_runs_under_sink_across_modules(self):
+        # sharded_fingerprint-style: the sink lives two modules away
+        # from the code it taints
+        index = ProjectIndex()
+        index.add_module(ast.parse(textwrap.dedent("""
+            def fleet_fingerprint():
+                return collect()
+        """)), "m1.py")
+        index.add_module(ast.parse(textwrap.dedent("""
+            def collect():
+                return tally()
+
+            def tally():
+                return 0
+        """)), "m2.py")
+        assert index.is_sink_feeding("collect")
+        assert index.is_sink_feeding("tally")
+        assert not index.is_sink_feeding("unrelated")
+
+    def test_nondet_taint_recorded(self):
+        index = ProjectIndex()
+        index.add_module(ast.parse(textwrap.dedent("""
+            def unstable(x):
+                return hash(x)
+
+            def stable(x):
+                return str(x)
+        """)), "m.py")
+        assert index.nondet_tainted() == {"unstable"}
+
+    def test_cross_module_index_drives_sim010(self):
+        # with the project index, a bare helper in one module is
+        # flagged because a fingerprint in another module calls it
+        index = ProjectIndex()
+        index.add_module(ast.parse(textwrap.dedent("""
+            def fleet_fingerprint():
+                return key_of()
+        """)), "src/repro/lon/fake_sink.py")
+        helper_src = textwrap.dedent("""
+            def key_of():
+                return hash("payload")
+        """)
+        index.add_module(ast.parse(helper_src), SIM_PATH)
+        without_index = lint_source(helper_src, path=SIM_PATH)
+        assert without_index == []
+        with_index = lint_source(helper_src, path=SIM_PATH, index=index)
+        assert rule_ids(with_index) == ["SIM010"]
+
+
+# ----------------------------------------------------------------------
+# suppression across rule generations (SIM002 + SIM009 in one comment)
+# ----------------------------------------------------------------------
+class TestCrossRuleSuppression:
+    SRC = """
+        from typing import Set
+
+        class Bridge:
+            def __init__(self):
+                self._links: Set[int] = set()
+
+            def flush_window(self, exchange, loads):
+                vals = [exchange.remote(0)[lk] for lk in self._links]
+                exchange.publish(0, loads)
+                return vals
+    """
+
+    def test_both_rules_fire_unsuppressed(self):
+        findings = run(self.SRC)
+        assert rule_ids(findings) == ["SIM002", "SIM009"]
+        # both pins land on the same line: the read inside the set loop
+        assert {f.line for f in findings} == {9}
+
+    def test_one_comment_suppresses_old_and_new(self):
+        src = self.SRC.replace(
+            "vals = [exchange.remote(0)[lk] for lk in self._links]",
+            "vals = [exchange.remote(0)[lk] for lk in self._links]"
+            "  # repro: allow[SIM002, SIM009]",
+        )
+        assert run(src) == []
+
+    def test_preceding_comment_line_covers_both(self):
+        src = self.SRC.replace(
+            "vals = [exchange.remote(0)[lk] for lk in self._links]",
+            "# repro: allow[SIM002, SIM009]\n"
+            "                vals = "
+            "[exchange.remote(0)[lk] for lk in self._links]",
+        )
+        assert run(src) == []
+
+    def test_partial_suppression_keeps_the_other_rule(self):
+        src = self.SRC.replace(
+            "vals = [exchange.remote(0)[lk] for lk in self._links]",
+            "vals = [exchange.remote(0)[lk] for lk in self._links]"
+            "  # repro: allow[SIM002]",
+        )
+        assert rule_ids(run(src)) == ["SIM009"]

@@ -1,0 +1,205 @@
+"""Tests for the dynamic happens-before verifier (repro.analysis.races).
+
+The expensive end-to-end checks run on a small rig (4 shards, 8 clients,
+2 accesses, 16px) with the sequential lockstep driver — same protocol
+cuts as the process-per-shard path, a fraction of the wall clock.  The
+parallel driver itself is covered by the digest-equivalence test, which
+doubles as the sequential ≡ parallel access-structure check.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.races import (
+    _log_digest,
+    _stress_rig,
+    analyze_log,
+    check_races,
+    main,
+)
+
+
+def _rec(seq, epoch, op, worker, row, col, value=1.0, frames=()):
+    return (seq, epoch, op, worker, row, col, value, tuple(frames))
+
+
+# ----------------------------------------------------------------------
+# analyze_log on synthetic records
+# ----------------------------------------------------------------------
+class TestAnalyzeLog:
+    def test_clean_protocol_log_is_ok(self):
+        # epoch 0: each owner writes its row; epoch 1: everybody reads
+        records = [
+            _rec(0, 0, "write", 0, 0, 0),
+            _rec(0, 0, "write", 1, 1, 0),
+            _rec(1, 1, "read", 0, 1, 0),
+            _rec(1, 1, "read", 1, 0, 0),
+        ]
+        report = analyze_log(records)
+        assert report.ok
+        assert report.n_records == 4
+        assert report.n_epochs == 2
+        assert report.n_workers == 2
+        assert report.conflicts == []
+        assert report.ownership_violations == []
+
+    def test_read_during_write_phase_is_a_conflict(self):
+        records = [
+            _rec(0, 0, "write", 1, 1, 0, frames=("shard.py:1 in publish",)),
+            _rec(0, 0, "read", 0, 1, 0, frames=("shard.py:2 in remote",)),
+        ]
+        report = analyze_log(records)
+        assert not report.ok
+        assert len(report.conflicts) == 1
+        conflict = report.conflicts[0]
+        assert (conflict.epoch, conflict.row, conflict.col) == (0, 1, 0)
+        ops = {conflict.first[2], conflict.second[2]}
+        assert ops == {"write", "read"}
+
+    def test_write_write_across_workers_is_a_conflict(self):
+        records = [
+            _rec(0, 0, "write", 0, 0, 0),
+            _rec(1, 0, "write", 1, 0, 0),
+        ]
+        report = analyze_log(records)
+        # worker 1 writing row 0 is both a conflict and an ownership
+        # violation
+        assert len(report.conflicts) == 1
+        assert len(report.ownership_violations) == 1
+        assert report.ownership_violations[0][3] == 1
+
+    def test_same_worker_accesses_never_conflict(self):
+        # one worker re-reading its own row in the write phase is
+        # ordered by program order, not a race
+        records = [
+            _rec(0, 0, "write", 0, 0, 0),
+            _rec(1, 0, "read", 0, 0, 0),
+        ]
+        assert analyze_log(records).ok
+
+    def test_reads_only_epoch_never_conflicts(self):
+        records = [
+            _rec(0, 1, "read", 0, 1, 0),
+            _rec(0, 1, "read", 1, 0, 0),
+            _rec(1, 1, "read", 2, 0, 0),
+        ]
+        assert analyze_log(records).ok
+
+    def test_one_pair_reported_per_cell_epoch(self):
+        records = [
+            _rec(0, 0, "write", 1, 1, 0),
+            _rec(1, 0, "read", 0, 1, 0),
+            _rec(2, 0, "read", 2, 1, 0),
+        ]
+        report = analyze_log(records)
+        assert len(report.conflicts) == 1
+
+    def test_describe_includes_frames(self):
+        records = [
+            _rec(0, 0, "write", 1, 1, 0,
+                 frames=("shard.py:216 in publish",)),
+            _rec(1, 0, "read", 0, 1, 0,
+                 frames=("shard.py:229 in remote",)),
+        ]
+        text = analyze_log(records).describe()
+        assert "FAIL" in text
+        assert "shard.py:216 in publish" in text
+        assert "shard.py:229 in remote" in text
+
+
+class TestLogDigest:
+    def test_digest_ignores_frames_and_seq_order(self):
+        a = [
+            _rec(0, 0, "write", 0, 0, 0, frames=("x:1 in f",)),
+            _rec(1, 1, "read", 0, 1, 0, frames=("x:2 in g",)),
+        ]
+        b = [  # shuffled, different frames/seq: same structure
+            _rec(7, 1, "read", 0, 1, 0, frames=("y:9 in h",)),
+            _rec(3, 0, "write", 0, 0, 0),
+        ]
+        assert _log_digest(a) == _log_digest(b)
+
+    def test_digest_sees_value_changes(self):
+        a = [_rec(0, 0, "write", 0, 0, 0, value=1.0)]
+        b = [_rec(0, 0, "write", 0, 0, 0, value=2.0)]
+        assert _log_digest(a) != _log_digest(b)
+
+
+# ----------------------------------------------------------------------
+# end-to-end on the small crossing rig
+# ----------------------------------------------------------------------
+def _small_rig():
+    return _stress_rig(
+        clients=8, accesses=2, seed=7, cross=0.3, resolution=16
+    )
+
+
+class TestCheckRaces:
+    def test_sequential_rig_is_race_free(self):
+        source, config = _small_rig()
+        report = check_races(source, config, n_shards=4, workers=1)
+        assert report.ok, report.describe()
+        assert report.n_records > 0
+        assert report.n_workers == 4
+
+    def test_double_run_digest_is_stable(self):
+        source, config = _small_rig()
+        first = check_races(source, config, n_shards=4, workers=1)
+        second = check_races(source, config, n_shards=4, workers=1)
+        assert first.digest == second.digest
+
+    def test_injected_violation_is_localized(self):
+        source, config = _small_rig()
+        report = check_races(
+            source, config, n_shards=4, workers=1, inject=True
+        )
+        assert not report.ok
+        conflict = report.conflicts[0]
+        # the violating exchange reads siblings during the write phase:
+        # write epochs are even, and one side of the pair is the read
+        assert conflict.epoch % 2 == 0
+        ops = {conflict.first[2], conflict.second[2]}
+        assert "read" in ops and "write" in ops
+        read = (conflict.first if conflict.first[2] == "read"
+                else conflict.second)
+        assert any("in remote" in frame for frame in read[7])
+
+    def test_parallel_matches_sequential_digest(self):
+        source, config = _small_rig()
+        sequential = check_races(source, config, n_shards=4, workers=1)
+        parallel = check_races(source, config, n_shards=4, workers=None)
+        assert parallel.ok, parallel.describe()
+        assert parallel.digest == sequential.digest
+
+    def test_non_crossing_rig_rejected(self):
+        source, config = _small_rig()
+        flat = dataclasses.replace(config, cross_shard_fraction=0.0)
+        with pytest.raises(ValueError):
+            check_races(source, flat, n_shards=4, workers=1)
+        with pytest.raises(ValueError):
+            check_races(source, config, n_shards=1, workers=1)
+
+
+class TestCli:
+    ARGS = ["--shards", "4", "--clients", "8", "--accesses", "2",
+            "--resolution", "16", "--workers", "1"]
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(self.ARGS + ["--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "races: OK" in out
+        assert "double-run digest match" in out
+
+    def test_inject_exits_one_and_writes_log(self, tmp_path, capsys):
+        log = tmp_path / "races-log.json"
+        rc = main(self.ARGS + ["--runs", "1", "--inject",
+                               "--log-out", str(log)])
+        assert rc == 1
+        assert "conflicting pair" in capsys.readouterr().out
+        payload = json.loads(log.read_text())
+        assert payload["format"] == "repro.races/1"
+        assert payload["ok"] is False
+        assert payload["conflicts"]
+        assert payload["records"]

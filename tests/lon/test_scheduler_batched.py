@@ -17,6 +17,13 @@ that synchronously resubmits its key must not have the fresh entry torn
 down by the old entry's cleanup.
 """
 
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -227,6 +234,94 @@ class TestBatchAccounting:
         q = EventQueue()
         with pytest.raises(ValueError):
             TransferScheduler(star(q), vectorize_threshold=1)
+
+
+class TestDedupHashStability:
+    """Regression: the dedup pre-pass must hash with crc32, not hash().
+
+    Builtin ``hash(str)`` is PYTHONHASHSEED-salted, so a hash()-based
+    ``may_collide`` shortlist can reach different verdicts in different
+    worker processes — the verdict gates which admission code path runs,
+    and the sharded fleet needs every worker on the same one (SIM010).
+    """
+
+    SCRIPT = textwrap.dedent("""
+        import json, os
+        from repro.lon.network import Network, mbps
+        from repro.lon.scheduler import (
+            Priority, TransferScheduler, TransferSpec,
+        )
+        from repro.lon.simtime import EventQueue
+
+        q = EventQueue()
+        net = Network(q, rebalance="incremental")
+        for i in range(6):
+            net.add_link(f"leaf{i}", "hub", mbps(20), 0.002)
+        events, done = [], []
+        sched = TransferScheduler(
+            net, policy="weighted", vectorize_threshold=2,
+            on_event=lambda ev: events.append(
+                (ev.time.hex(), ev.label, ev.event)),
+        )
+        rows = [
+            ("leaf0", "leaf1", 100_000, 0, "vs-0"),
+            ("leaf1", "leaf3", 200_000, 2, "vs-0"),
+            ("leaf2", "leaf5", 150_000, 1, None),
+            ("leaf3", "leaf4", 120_000, 3, "vs-1"),
+        ]
+        specs = [
+            TransferSpec(src, dst, size,
+                         lambda f: done.append(f.finish_time.hex()),
+                         label=f"s{i}", priority=Priority(prio),
+                         dedup_key=key)
+            for i, (src, dst, size, prio, key) in enumerate(rows)
+        ]
+        handles = sched.submit_batch(specs)
+        q.run()
+        print(json.dumps({
+            "states": [h.state for h in handles],
+            "deduped": sched.registry.stats.deduped,
+            "events": events,
+            "done": sorted(done),
+            "seed": os.environ["PYTHONHASHSEED"],
+        }))
+    """)
+
+    def _run_with_hash_seed(self, seed):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True, text=True, env=env, cwd=root, check=True,
+        )
+        return json.loads(proc.stdout)
+
+    def test_observables_identical_across_hash_seeds(self):
+        a = self._run_with_hash_seed("0")
+        b = self._run_with_hash_seed("31337")
+        assert a["seed"] != b["seed"]
+        for out in (a, b):
+            del out["seed"]
+        assert a == b
+        assert a["states"] == ["completed", "cancelled",
+                               "completed", "completed"]
+        assert a["deduped"] == 1
+
+    def test_no_key_sentinels_never_dedup(self):
+        # rows mixing one real key with None keys: the -(i+1) sentinels
+        # must stay distinct from every crc32 value (crc32 >= 0), so no
+        # None-keyed spec is ever suppressed
+        rows = [
+            (0, 1, 100_000, 0, 0, TOK_NONE),
+            (1, 2, 200_000, 2, None, TOK_NONE),
+            (2, 3, 150_000, 1, None, TOK_NONE),
+            (3, 1, 120_000, 3, None, TOK_NONE),
+        ]
+        out = run_scenario((rows, [False] * 4, None), threshold=2,
+                           rebalance="incremental")
+        assert out["states"] == ["completed"] * 4
+        assert out["registry"][1] == 0  # nothing deduped
 
 
 class TestFullModeCoalescing:
